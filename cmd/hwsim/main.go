@@ -1,0 +1,159 @@
+// Command hwsim runs the clustered-processor simulator on one benchmark and
+// prints the full statistics readout.
+//
+//	hwsim -bench gcc -model VII -n 1000000
+//	hwsim -bench mcf -clusters 16 -latency 2
+//	hwsim -list
+//	hwsim -bench gzip -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hetwire"
+	"hetwire/internal/config"
+	"hetwire/internal/trace"
+)
+
+// runTraceFile replays an on-disk trace through the simulator.
+func runTraceFile(cfg hetwire.Config, path string, n uint64) (hetwire.Result, error) {
+	fs, err := trace.OpenTraceFile(path)
+	if err != nil {
+		return hetwire.Result{}, err
+	}
+	defer fs.Close()
+	sim, err := hetwire.NewSimulator(cfg)
+	if err != nil {
+		return hetwire.Result{}, err
+	}
+	res := sim.Run(fs, n)
+	if err := fs.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+var modelNames = map[string]hetwire.ModelID{
+	"I": hetwire.ModelI, "II": hetwire.ModelII, "III": hetwire.ModelIII,
+	"IV": hetwire.ModelIV, "V": hetwire.ModelV, "VI": hetwire.ModelVI,
+	"VII": hetwire.ModelVII, "VIII": hetwire.ModelVIII, "IX": hetwire.ModelIX,
+	"X": hetwire.ModelX,
+}
+
+func main() {
+	var (
+		bench    = flag.String("bench", "gcc", "benchmark name (see -list)")
+		model    = flag.String("model", "I", "interconnect model: I..X")
+		clusters = flag.Int("clusters", 4, "cluster count: 4 or 16")
+		latScale = flag.Int("latency", 1, "interconnect latency multiplier")
+		n        = flag.Uint64("n", 1_000_000, "instructions to simulate")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
+		asJSON   = flag.Bool("json", false, "emit the statistics as JSON")
+		traceF   = flag.String("tracefile", "", "replay a trace file (from tracegen) instead of a synthetic benchmark")
+		confF    = flag.String("config", "", "load the machine configuration from a JSON file (overrides -model/-clusters/-latency)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(hetwire.Benchmarks(), "\n"))
+		return
+	}
+
+	id, ok := modelNames[strings.ToUpper(*model)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "hwsim: unknown model %q (use I..X)\n", *model)
+		os.Exit(2)
+	}
+	var cfg hetwire.Config
+	if *confF != "" {
+		var err error
+		cfg, err = hetwire.LoadConfigFile(*confF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hwsim:", err)
+			os.Exit(2)
+		}
+		id = cfg.Model.ID
+		*clusters = cfg.Topology.Clusters()
+		*latScale = cfg.LatencyScale
+	} else {
+		cfg = hetwire.DefaultConfig().WithModel(id)
+		switch *clusters {
+		case 4:
+		case 16:
+			cfg.Topology = config.HierRing16
+		default:
+			fmt.Fprintln(os.Stderr, "hwsim: -clusters must be 4 or 16")
+			os.Exit(2)
+		}
+		cfg.LatencyScale = *latScale
+	}
+
+	var res hetwire.Result
+	var err error
+	if *traceF != "" {
+		res, err = runTraceFile(cfg, *traceF, *n)
+		*bench = *traceF
+	} else {
+		res, err = hetwire.RunBenchmark(cfg, *bench, *n)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hwsim:", err)
+		os.Exit(1)
+	}
+
+	st := res.Stats
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Benchmark string
+			Model     string
+			Clusters  int
+			IPC       float64
+			Stats     any
+		}{*bench, id.String(), *clusters, st.IPC(), st}); err != nil {
+			fmt.Fprintln(os.Stderr, "hwsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("benchmark            %s\n", *bench)
+	fmt.Printf("machine              %v, %v (%s), latency x%d\n", cfg.Topology, id, cfg.Model.Link, *latScale)
+	fmt.Printf("instructions         %d\n", st.Instructions)
+	fmt.Printf("cycles               %d\n", st.Cycles)
+	fmt.Printf("IPC                  %.3f\n", st.IPC())
+	fmt.Printf("branch accuracy      %.3f (%d mispredicts, %d BTB misses)\n", st.BranchAccuracy, st.Mispredicts, st.BTBMisses)
+	fmt.Printf("L1D/L2/TLB miss      %.3f / %.3f / %.3f\n", st.L1DMissRate, st.L2MissRate, st.TLBMissRate)
+	fmt.Printf("loads/stores         %d / %d (forwards %d)\n", st.Loads, st.Stores, st.StoreForwards)
+	total := st.OperandTransfers + st.LocalOperands
+	if total > 0 {
+		fmt.Printf("operand traffic      %d transfers (%.1f%% of operands cross clusters)\n",
+			st.OperandTransfers, 100*float64(st.OperandTransfers)/float64(total))
+	}
+	if st.PartialChecks > 0 {
+		fmt.Printf("partial-addr LSQ     %d checks, %.2f%% false dependences\n",
+			st.PartialChecks, 100*float64(st.PartialFalseDeps)/float64(st.PartialChecks))
+	}
+	if st.NarrowTransfers+st.NarrowMispredicted > 0 {
+		fmt.Printf("narrow transfers     %d on L-wires, %d mispredicted-narrow resends\n",
+			st.NarrowTransfers, st.NarrowMispredicted)
+	}
+	if st.ReadyOperandPW+st.StoreDataPW+st.BalancePW > 0 {
+		fmt.Printf("PW steering          ready-operands %d, store-data %d, load-balance %d\n",
+			st.ReadyOperandPW, st.StoreDataPW, st.BalancePW)
+	}
+	fmt.Printf("network wait cycles  %d (buffered contention)\n", st.WaitCycles)
+	classes := [3]string{"B", "PW", "L"}
+	for i, name := range classes {
+		ns := st.Net[i]
+		if ns.Transfers == 0 {
+			continue
+		}
+		fmt.Printf("  %-2s plane           %d transfers, %d bits, %d bit-hops, %d wait cycles\n",
+			name, ns.Transfers, ns.Bits, ns.BitHops, ns.WaitCycles)
+	}
+}

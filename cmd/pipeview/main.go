@@ -1,0 +1,105 @@
+// Command pipeview renders a per-instruction pipeline timeline — an ASCII
+// Gantt of fetch/dispatch/issue/complete/commit — for a window of a
+// benchmark's execution. Useful for seeing exactly where heterogeneous
+// wires change the schedule.
+//
+//	pipeview -bench gzip -skip 5000 -count 30
+//	pipeview -bench mcf -model VII -count 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hetwire"
+	"hetwire/internal/core"
+	"hetwire/internal/workload"
+)
+
+var modelNames = map[string]hetwire.ModelID{
+	"I": hetwire.ModelI, "II": hetwire.ModelII, "III": hetwire.ModelIII,
+	"IV": hetwire.ModelIV, "V": hetwire.ModelV, "VI": hetwire.ModelVI,
+	"VII": hetwire.ModelVII, "VIII": hetwire.ModelVIII, "IX": hetwire.ModelIX,
+	"X": hetwire.ModelX,
+}
+
+func main() {
+	var (
+		bench = flag.String("bench", "gzip", "benchmark name")
+		model = flag.String("model", "I", "interconnect model I..X")
+		skip  = flag.Uint64("skip", 10_000, "instructions to run before the window")
+		count = flag.Uint64("count", 24, "instructions to display")
+		width = flag.Int("width", 64, "timeline width in characters")
+	)
+	flag.Parse()
+
+	id, ok := modelNames[strings.ToUpper(*model)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pipeview: unknown model %q\n", *model)
+		os.Exit(2)
+	}
+	prof, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pipeview: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+
+	cfg := hetwire.DefaultConfig().WithModel(id)
+	proc := core.New(cfg)
+	gen := workload.NewGenerator(prof)
+
+	var window []core.InstrTiming
+	total := *skip + *count
+	seen := uint64(0)
+	proc.Observer = func(ti core.InstrTiming) {
+		seen++
+		if seen > *skip {
+			window = append(window, ti)
+		}
+	}
+	proc.Run(gen, total)
+	if len(window) == 0 {
+		fmt.Fprintln(os.Stderr, "pipeview: empty window")
+		os.Exit(1)
+	}
+
+	base := window[0].Fetch
+	span := window[len(window)-1].Commit - base + 1
+	scale := float64(*width) / float64(span)
+	pos := func(c uint64) int {
+		p := int(float64(c-base) * scale)
+		if p >= *width {
+			p = *width - 1
+		}
+		return p
+	}
+
+	fmt.Printf("%s on %v — instructions %d..%d, cycles %d..%d (F fetch, D dispatch, I issue, C complete, R retire)\n\n",
+		*bench, id, *skip+1, total, base, window[len(window)-1].Commit)
+	fmt.Printf("%-6s %-10s %-6s %-4s %s\n", "seq", "pc", "op", "clu", "timeline")
+	for _, ti := range window {
+		line := []byte(strings.Repeat(".", *width))
+		put := func(c uint64, ch byte) {
+			p := pos(c)
+			if line[p] == '.' || line[p] == '-' {
+				line[p] = ch
+			}
+		}
+		for p := pos(ti.Fetch); p <= pos(ti.Commit); p++ {
+			line[p] = '-'
+		}
+		put(ti.Fetch, 'F')
+		put(ti.Dispatch, 'D')
+		put(ti.Issue, 'I')
+		put(ti.Complete, 'C')
+		put(ti.Commit, 'R')
+		mark := " "
+		if ti.Mispred {
+			mark = "!"
+		}
+		fmt.Printf("%-6d %#08x %-6s %-4d %s%s\n", ti.Seq, ti.PC, ti.Op, ti.Cluster, string(line), mark)
+	}
+	fmt.Println("\n('!' marks mispredicted branches; time flows left to right)")
+}

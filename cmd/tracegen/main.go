@@ -1,0 +1,87 @@
+// Command tracegen materialises synthetic benchmark traces as files, and
+// inspects existing trace files. The on-disk format is documented in
+// internal/trace/file.go; hwsim replays trace files with -tracefile.
+//
+//	tracegen -bench gcc -n 1000000 -o gcc.hwt
+//	tracegen -inspect gcc.hwt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetwire/internal/trace"
+	"hetwire/internal/workload"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "gcc", "benchmark profile to generate")
+		n       = flag.Uint64("n", 1_000_000, "instructions to generate")
+		out     = flag.String("o", "", "output trace file (default <bench>.hwt)")
+		inspect = flag.String("inspect", "", "print a summary of an existing trace file and exit")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		if err := summarise(*inspect); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	prof, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	path := *out
+	if path == "" {
+		path = *bench + ".hwt"
+	}
+	written, err := trace.WriteTraceFile(path, workload.NewGenerator(prof), *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d instructions of %s to %s\n", written, *bench, path)
+}
+
+func summarise(path string) error {
+	fs, err := trace.OpenTraceFile(path)
+	if err != nil {
+		return err
+	}
+	defer fs.Close()
+
+	total := fs.Count()
+	var counts [8]uint64
+	var taken, narrow uint64
+	var ins trace.Instr
+	for fs.Next(&ins) {
+		counts[int(ins.Op)%len(counts)]++
+		if ins.Op == trace.Branch && ins.Taken {
+			taken++
+		}
+		if ins.Dest != trace.NoReg && ins.Value < 1024 {
+			narrow++
+		}
+	}
+	if err := fs.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d instructions\n", path, total)
+	for op := trace.IntALU; op <= trace.Branch; op++ {
+		if counts[op] == 0 {
+			continue
+		}
+		fmt.Printf("  %-7s %9d (%5.1f%%)\n", op, counts[op], 100*float64(counts[op])/float64(total))
+	}
+	if b := counts[trace.Branch]; b > 0 {
+		fmt.Printf("  taken-branch fraction: %.1f%%\n", 100*float64(taken)/float64(b))
+	}
+	fmt.Printf("  narrow results: %d\n", narrow)
+	return nil
+}

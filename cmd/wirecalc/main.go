@@ -1,0 +1,72 @@
+// Command wirecalc derives the paper's Table 2 — the relative delay and
+// energy of the four wire classes — from the physical RC/repeater models,
+// and prints absolute figures for the 45nm technology point.
+//
+//	wirecalc            print the Table 2 derivation
+//	wirecalc -length 10 also print absolute delay/energy for a 10mm link
+//	wirecalc -clock 3   cycle counts at the given clock (GHz)
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"hetwire/internal/stats"
+	"hetwire/internal/wires"
+)
+
+func main() {
+	length := flag.Float64("length", 10, "link length in mm")
+	clock := flag.Float64("clock", 3.0, "clock frequency in GHz")
+	flag.Parse()
+
+	tech := wires.Tech45()
+	derived := wires.DeriveParams(tech)
+
+	fmt.Printf("Wire classes at %dnm (derived from geometry; paper Table 2 in parentheses)\n\n", tech.Node)
+	t := stats.NewTable("class", "rel delay", "(paper)", "rel dyn/wire", "(paper)", "rel lkg/wire", "(paper)", "pitch", "xbar cyc", "ring cyc")
+	for _, c := range wires.Classes() {
+		d := derived[c]
+		p := wires.Table2[c]
+		t.AddRow(c.String(), d.RelDelay, p.RelDelay, d.RelDynPerWire, p.RelDynPerWire,
+			d.RelLeakPerWire, p.RelLeakPerWire, d.RelPitch,
+			wires.CrossbarLatency(c), wires.RingHopLatency(c))
+	}
+	fmt.Println(t)
+
+	fmt.Printf("Absolute figures for a %.1fmm link at %.1fGHz:\n\n", *length, *clock)
+	a := stats.NewTable("class", "delay ps/mm", "delay ps", "cycles", "dyn fJ/mm", "R ohm/mm", "C fF/mm")
+	for _, c := range wires.Classes() {
+		w := wires.ForClass(tech, c)
+		a.AddRow(c.String(), w.DelayPerMM(), w.DelayPerMM()**length,
+			wires.LatencyCycles(w, *length, *clock), w.DynamicEnergyPerMM(),
+			w.ResistancePerMM(), w.CapacitancePerMM())
+	}
+	fmt.Println(a)
+
+	fmt.Println("Technology scaling at a 15mm inter-cluster link (gates scale, wires don't):")
+	nodes := []struct {
+		t     wires.Technology
+		clock float64
+	}{{wires.Tech65(), 3.0}, {wires.Tech45(), 5.0}, {wires.Tech32(), 7.0}}
+	n := stats.NewTable("node", "clock GHz", "B cycles", "PW cycles", "L cycles", "B-L gap")
+	for _, nd := range nodes {
+		lat := wires.NodeLatencies(nd.t, 15, nd.clock)
+		n.AddRow(fmt.Sprintf("%dnm", nd.t.Node), nd.clock,
+			lat[wires.B], lat[wires.PW], lat[wires.L], lat[wires.B]-lat[wires.L])
+	}
+	fmt.Println(n)
+	fmt.Println("(At 45nm/5GHz the derivation lands on Table 2's 3/2/1 crossbar cycles;")
+	fmt.Println(" at 32nm the B-L gap widens — the Section 5.3 wire-constrained case.)")
+	fmt.Println()
+
+	tl := wires.NewTransmissionLine(tech)
+	rc := wires.NewL(tech)
+	fmt.Printf("Transmission-line L-wire: %.1f ps/mm (%.2fx faster than the RC L-wire; Chang et al. report >= 1.33x)\n",
+		tl.DelayPerMM(), rc.DelayPerMM()/tl.DelayPerMM())
+	fmt.Printf("Power-optimal repeaters (PW): %.0f%% delay penalty buys %.0f%% capacitive-energy saving vs W\n",
+		100*(derived[wires.PW].RelDelay-1), 100*(1-derived[wires.PW].RelDynPerWire))
+	fmt.Println("(The paper's published 70% PW energy saving additionally counts short-circuit")
+	fmt.Println(" and leakage re-optimisation from Banerjee & Mehrotra; the simulator's energy")
+	fmt.Println(" accounting uses the published Table 2 constants.)")
+}

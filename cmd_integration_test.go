@@ -1,0 +1,91 @@
+package hetwire_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// runCmd executes one of the repository's commands via `go run` and returns
+// its combined output.
+func runCmd(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+// TestCLIWirecalc: the wire calculator prints the Table 2 derivation.
+func TestCLIWirecalc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	out := runCmd(t, "./cmd/wirecalc")
+	for _, want := range []string{"PW-Wire", "L-Wire", "Transmission-line", "Technology scaling"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("wirecalc output missing %q", want)
+		}
+	}
+}
+
+// TestCLITraceRoundTrip: tracegen writes a trace, inspects it, and hwsim
+// replays it.
+func TestCLITraceRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	dir := t.TempDir()
+	path := dir + "/t.hwt"
+	out := runCmd(t, "./cmd/tracegen", "-bench", "gzip", "-n", "30000", "-o", path)
+	if !strings.Contains(out, "wrote 30000 instructions") {
+		t.Fatalf("tracegen output: %s", out)
+	}
+	out = runCmd(t, "./cmd/tracegen", "-inspect", path)
+	if !strings.Contains(out, "30000 instructions") || !strings.Contains(out, "branch") {
+		t.Fatalf("inspect output: %s", out)
+	}
+	out = runCmd(t, "./cmd/hwsim", "-tracefile", path, "-model", "VII", "-n", "30000")
+	if !strings.Contains(out, "IPC") || !strings.Contains(out, "Model-VII") {
+		t.Fatalf("hwsim replay output: %s", out)
+	}
+}
+
+// TestCLIHwsimJSON: the JSON output is well-formed enough to contain the
+// key fields.
+func TestCLIHwsimJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	out := runCmd(t, "./cmd/hwsim", "-bench", "mesa", "-n", "20000", "-json")
+	for _, want := range []string{`"Benchmark": "mesa"`, `"IPC":`, `"Cycles":`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON output missing %s:\n%s", want, out[:200])
+		}
+	}
+}
+
+// TestCLIExperimentsFig3: the experiment driver runs end to end at a tiny
+// scale and prints the AM row.
+func TestCLIExperimentsFig3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	out := runCmd(t, "./cmd/experiments", "-fig3", "-n", "5000")
+	if !strings.Contains(out, "AM speedup") {
+		t.Fatalf("experiments output missing summary:\n%s", out)
+	}
+}
+
+// TestCLIPipeview: the pipeline viewer renders a timeline.
+func TestCLIPipeview(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	out := runCmd(t, "./cmd/pipeview", "-bench", "gzip", "-skip", "2000", "-count", "8")
+	if !strings.Contains(out, "timeline") || !strings.Contains(out, "F") {
+		t.Fatalf("pipeview output:\n%s", out)
+	}
+}

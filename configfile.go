@@ -1,0 +1,168 @@
+package hetwire
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"hetwire/internal/config"
+)
+
+// configFile is the JSON shape of a saved machine configuration. Only the
+// commonly-swept knobs are exposed; everything else keeps its Table 1
+// default.
+type configFile struct {
+	Model             string          `json:"model"`
+	Clusters          int             `json:"clusters"`
+	LatencyScale      int             `json:"latency_scale,omitempty"`
+	Steering          string          `json:"steering,omitempty"`
+	LinkHeterogeneous bool            `json:"link_heterogeneous,omitempty"`
+	Techniques        map[string]bool `json:"techniques,omitempty"`
+	LSBits            int             `json:"ls_bits,omitempty"`
+	Overrides         map[string]int  `json:"core_overrides,omitempty"`
+}
+
+var steeringNames = map[string]config.SteeringPolicy{
+	"":            config.SteerDynamic,
+	"dynamic":     config.SteerDynamic,
+	"static-hash": config.SteerStatic,
+	"round-robin": config.SteerRoundRobin,
+}
+
+var modelByName = map[string]ModelID{
+	"I": ModelI, "II": ModelII, "III": ModelIII, "IV": ModelIV, "V": ModelV,
+	"VI": ModelVI, "VII": ModelVII, "VIII": ModelVIII, "IX": ModelIX, "X": ModelX,
+}
+
+// LoadConfigFile reads a machine configuration from a JSON file. Unset
+// fields keep the paper's defaults; the model's supported techniques are
+// enabled unless the file's "techniques" map disables them explicitly.
+func LoadConfigFile(path string) (Config, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, err
+	}
+	var cf configFile
+	if err := json.Unmarshal(raw, &cf); err != nil {
+		return Config{}, fmt.Errorf("hetwire: parsing %s: %w", path, err)
+	}
+
+	id, ok := modelByName[cf.Model]
+	if !ok {
+		return Config{}, fmt.Errorf("hetwire: unknown model %q (use I..X)", cf.Model)
+	}
+	cfg := DefaultConfig().WithModel(id)
+	switch cf.Clusters {
+	case 0, 4:
+	case 16:
+		cfg.Topology = config.HierRing16
+	default:
+		return Config{}, fmt.Errorf("hetwire: clusters must be 4 or 16, got %d", cf.Clusters)
+	}
+	if cf.LatencyScale > 0 {
+		cfg.LatencyScale = cf.LatencyScale
+	}
+	pol, ok := steeringNames[cf.Steering]
+	if !ok {
+		return Config{}, fmt.Errorf("hetwire: unknown steering policy %q", cf.Steering)
+	}
+	cfg.Steering = pol
+	cfg.LinkHeterogeneous = cf.LinkHeterogeneous
+	if cf.LSBits != 0 {
+		cfg.Tech.LSBits = cf.LSBits
+	}
+	for name, on := range cf.Techniques {
+		if err := setTechnique(&cfg.Tech, name, on); err != nil {
+			return Config{}, err
+		}
+	}
+	for name, v := range cf.Overrides {
+		if err := setCoreOverride(&cfg.Core, name, v); err != nil {
+			return Config{}, err
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, fmt.Errorf("hetwire: %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+func setTechnique(t *config.Techniques, name string, on bool) error {
+	switch name {
+	case "cache_pipeline":
+		t.LWireCachePipeline = on
+	case "narrow_operands":
+		t.NarrowOperands = on
+	case "narrow_oracle":
+		t.NarrowOracle = on
+	case "mispredict_on_l":
+		t.MispredictOnL = on
+	case "pw_ready_operands":
+		t.PWReadyOperands = on
+	case "pw_store_data":
+		t.PWStoreData = on
+	case "pw_load_balance":
+		t.PWLoadBalance = on
+	case "frequent_value":
+		t.FrequentValueEnc = on
+	case "critical_word":
+		t.CriticalWordOnL = on
+	case "transmission_line_l":
+		t.TransmissionLineL = on
+	default:
+		return fmt.Errorf("hetwire: unknown technique %q", name)
+	}
+	return nil
+}
+
+func setCoreOverride(c *config.Core, name string, v int) error {
+	switch name {
+	case "rob":
+		c.ROBSize = v
+	case "issue_queue":
+		c.IssueQPerClust = v
+	case "registers":
+		c.RegsPerClust = v
+	case "fetch_width":
+		c.FetchWidth = v
+	case "l1d_latency":
+		c.L1DLatency = v
+	case "l2_latency":
+		c.L2Latency = v
+	case "memory_latency":
+		c.MemLatency = v
+	default:
+		return fmt.Errorf("hetwire: unknown core override %q", name)
+	}
+	return nil
+}
+
+// SaveConfigFile writes the sweep-relevant parts of a configuration to a
+// JSON file that LoadConfigFile round-trips.
+func SaveConfigFile(path string, cfg Config) error {
+	cf := configFile{
+		Model:             cfg.Model.ID.String()[len("Model-"):],
+		Clusters:          cfg.Topology.Clusters(),
+		LatencyScale:      cfg.LatencyScale,
+		Steering:          cfg.Steering.String(),
+		LinkHeterogeneous: cfg.LinkHeterogeneous,
+		LSBits:            cfg.Tech.LSBits,
+		Techniques: map[string]bool{
+			"cache_pipeline":      cfg.Tech.LWireCachePipeline,
+			"narrow_operands":     cfg.Tech.NarrowOperands,
+			"narrow_oracle":       cfg.Tech.NarrowOracle,
+			"mispredict_on_l":     cfg.Tech.MispredictOnL,
+			"pw_ready_operands":   cfg.Tech.PWReadyOperands,
+			"pw_store_data":       cfg.Tech.PWStoreData,
+			"pw_load_balance":     cfg.Tech.PWLoadBalance,
+			"frequent_value":      cfg.Tech.FrequentValueEnc,
+			"critical_word":       cfg.Tech.CriticalWordOnL,
+			"transmission_line_l": cfg.Tech.TransmissionLineL,
+		},
+	}
+	raw, err := json.MarshalIndent(cf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -1,0 +1,64 @@
+package hetwire_test
+
+import (
+	"fmt"
+	"log"
+
+	"hetwire"
+)
+
+// The simplest use: run one benchmark on the paper's baseline machine.
+func ExampleRunBenchmark() {
+	res, err := hetwire.RunBenchmark(hetwire.DefaultConfig(), "gzip", 100_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gzip committed %d instructions at IPC %.2f\n", res.Instructions, res.IPC())
+}
+
+// Configure a heterogeneous interconnect: Model VII adds an 18-bit L-wire
+// plane to every link and enables the paper's Section 4 techniques.
+func ExampleConfig_WithModel() {
+	cfg := hetwire.DefaultConfig().WithModel(hetwire.ModelVII)
+	res, err := hetwire.RunBenchmark(cfg, "mesa", 100_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("narrow operands on L-wires: %d\n", res.NarrowTransfers)
+	fmt.Printf("partial-address false dependences: %d of %d loads\n",
+		res.PartialFalseDeps, res.Loads)
+}
+
+// Regenerate paper Figure 3 on a benchmark subset.
+func ExampleFigure3() {
+	r := hetwire.Figure3(hetwire.Options{
+		Instructions: 50_000,
+		Benchmarks:   []string{"gzip", "mcf", "mesa"},
+	})
+	fmt.Printf("L-wire layer speedup: %+.1f%% (paper: +4.2%%)\n", r.SpeedupPct)
+}
+
+// Run several programs at once on the 16-cluster machine: threads own
+// disjoint cluster partitions but share the wires and the cache.
+func ExampleRunMultiprogrammed() {
+	cfg := hetwire.DefaultConfig()
+	cfg.Topology = hetwire.HierRing16
+	res, err := hetwire.RunMultiprogrammed(cfg, []string{"gzip", "swim"}, 50_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range res {
+		fmt.Printf("%s on clusters %v: IPC %.2f\n", r.Benchmark, r.Clusters, r.Stats.IPC())
+	}
+}
+
+// Search the whole link-composition design space within a metal-area
+// budget, the paper's Section 3 question.
+func ExampleExploreArea() {
+	r := hetwire.ExploreArea(1.5, 0.10, hetwire.Options{
+		Instructions: 30_000,
+		Benchmarks:   []string{"gzip", "mesa"},
+	})
+	best := r.Best()
+	fmt.Printf("ED2-optimal link within 1.5 area units: %s (ED2 %.0f)\n", best.Link, best.RelED2)
+}

@@ -1,0 +1,41 @@
+// Quickstart: simulate one benchmark on the baseline machine and on a
+// heterogeneous interconnect, and compare.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetwire"
+)
+
+func main() {
+	const bench = "gzip"
+	const instructions = 500_000
+
+	// The paper's baseline: 4 clusters joined by a crossbar of homogeneous
+	// B-wires (Model I), no wire-management techniques.
+	base, err := hetwire.RunBenchmark(hetwire.DefaultConfig(), bench, instructions)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Model VII adds an 18-bit L-wire plane to every link and enables the
+	// Section 4 techniques that exploit it: the partial-address cache
+	// pipeline, narrow-operand transfers, and mispredict signalling.
+	cfg := hetwire.DefaultConfig().WithModel(hetwire.ModelVII)
+	het, err := hetwire.RunBenchmark(cfg, bench, instructions)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark: %s (%d instructions)\n\n", bench, instructions)
+	fmt.Printf("%-28s %10s %12s\n", "", "baseline", "Model VII")
+	fmt.Printf("%-28s %10.3f %12.3f\n", "IPC", base.IPC(), het.IPC())
+	fmt.Printf("%-28s %10d %12d\n", "cycles", base.Cycles, het.Cycles)
+	fmt.Printf("%-28s %10d %12d\n", "network wait cycles", base.WaitCycles, het.WaitCycles)
+	fmt.Printf("%-28s %10d %12d\n", "L-wire transfers", base.Net[2].Transfers, het.Net[2].Transfers)
+	fmt.Printf("%-28s %10s %12.2f%%\n", "narrow share of transfers", "-",
+		100*float64(het.NarrowTransfers)/float64(het.OperandTransfers))
+	fmt.Printf("\nspeedup: %.1f%%\n", 100*(het.IPC()/base.IPC()-1))
+}

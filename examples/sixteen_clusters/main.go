@@ -1,0 +1,57 @@
+// Sixteen clusters: the paper's aggressive partitioned machine (Figure
+// 2b) — four crossbar-connected quads on a ring — and how interconnect
+// choice matters more as wire delays grow (Section 5.3).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetwire"
+	"hetwire/internal/config"
+)
+
+func main() {
+	benches := []string{"galgel", "mesa", "gzip", "swim", "mcf"}
+	const n = 200_000
+
+	fmt.Println("cluster-count scaling, Model I baseline interconnect")
+	fmt.Printf("%-10s %12s %12s %10s\n", "benchmark", "4 clusters", "16 clusters", "gain")
+	for _, b := range benches {
+		c4, err := hetwire.RunBenchmark(hetwire.DefaultConfig(), b, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := hetwire.DefaultConfig()
+		cfg.Topology = config.HierRing16
+		c16, err := hetwire.RunBenchmark(cfg, b, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12.3f %12.3f %9.1f%%\n", b, c4.IPC(), c16.IPC(), 100*(c16.IPC()/c4.IPC()-1))
+	}
+	fmt.Println("\n(The paper reports a 17% average single-thread gain from 4 to 16 clusters.)")
+
+	fmt.Println("\nheterogeneous wires on the 16-cluster machine (ring hops: PW 6 / B 4 / L 2 cycles)")
+	cfg16 := hetwire.DefaultConfig()
+	cfg16.Topology = config.HierRing16
+	lw := cfg16
+	lw.Model.Link.LWires = 18
+	lw.Tech = config.AllTechniques()
+	lw.Tech.PWReadyOperands = false
+	lw.Tech.PWStoreData = false
+	lw.Tech.PWLoadBalance = false
+	fmt.Printf("%-10s %12s %12s %10s\n", "benchmark", "baseline", "+L-wires", "gain")
+	for _, b := range benches {
+		base, err := hetwire.RunBenchmark(cfg16, b, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		het, err := hetwire.RunBenchmark(lw, b, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12.3f %12.3f %9.1f%%\n", b, base.IPC(), het.IPC(), 100*(het.IPC()/base.IPC()-1))
+	}
+	fmt.Println("\n(The paper reports a 7.4% AM gain from the L-wire layer at 16 clusters.)")
+}

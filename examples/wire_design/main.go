@@ -1,0 +1,60 @@
+// Wire design exploration: use the physical wire models directly to study
+// how geometry and repeater policy trade delay against energy and
+// bandwidth — the Section 2 design space of the paper.
+package main
+
+import (
+	"fmt"
+
+	"hetwire/internal/wires"
+)
+
+func main() {
+	tech := wires.Tech45()
+
+	fmt.Println("1. Width/spacing sweep (delay-optimal repeaters)")
+	fmt.Printf("%8s %12s %12s %14s\n", "width x", "delay ps/mm", "dyn fJ/mm", "wires per 10um")
+	for _, mult := range []float64{1, 2, 4, 8} {
+		w := wires.Wire{
+			Tech: tech,
+			Geom: wires.Geometry{Width: mult * tech.MinWidth, Spacing: mult * tech.MinSpacing},
+			Rep:  wires.DelayOptimal,
+		}
+		fmt.Printf("%8.0f %12.2f %12.1f %14.1f\n",
+			mult, w.DelayPerMM(), w.DynamicEnergyPerMM(), 10_000/w.Geom.Pitch())
+	}
+
+	fmt.Println("\n2. Repeater policy sweep on minimum-geometry wire")
+	fmt.Printf("%10s %10s %12s %12s %12s\n", "size fac", "space fac", "delay ps/mm", "dyn fJ/mm", "leak/mm")
+	for _, rep := range []wires.Repeaters{
+		{SizeFactor: 1.0, SpacingFactor: 1.0},
+		{SizeFactor: 0.7, SpacingFactor: 1.4},
+		wires.PowerOptimal,
+		{SizeFactor: 0.3, SpacingFactor: 2.5},
+	} {
+		w := wires.NewW(tech)
+		w.Rep = rep
+		fmt.Printf("%10.2f %10.2f %12.2f %12.1f %12.2f\n",
+			rep.SizeFactor, rep.SpacingFactor, w.DelayPerMM(), w.DynamicEnergyPerMM(), w.LeakagePowerPerMM())
+	}
+
+	fmt.Println("\n3. The paper's four classes, derived vs published (Table 2)")
+	derived := wires.DeriveParams(tech)
+	for _, c := range wires.Classes() {
+		d, p := derived[c], wires.Table2[c]
+		fmt.Printf("%-8s delay %.2f (paper %.2f)  dyn %.2f (paper %.2f)  lkg %.2f (paper %.2f)\n",
+			c, d.RelDelay, p.RelDelay, d.RelDynPerWire, p.RelDynPerWire, d.RelLeakPerWire, p.RelLeakPerWire)
+	}
+
+	fmt.Println("\n4. Equal metal area: what fits in the footprint of 72 B-wires?")
+	area := 72 * wires.NewB(tech).Geom.Pitch()
+	for _, c := range wires.Classes() {
+		w := wires.ForClass(tech, c)
+		n := int(area / w.Geom.Pitch())
+		fmt.Printf("%-8s %3d wires -> %d-bit messages/cycle\n", c, n, n)
+	}
+
+	tl := wires.NewTransmissionLine(tech)
+	fmt.Printf("\n5. Transmission line option: %.1f ps/mm (RC L-wire: %.1f ps/mm)\n",
+		tl.DelayPerMM(), wires.NewL(tech).DelayPerMM())
+}

@@ -1,0 +1,3 @@
+module hetwire
+
+go 1.22

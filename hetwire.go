@@ -1,0 +1,195 @@
+// Package hetwire is a cycle-level simulator of microarchitectural wire
+// management in partitioned (clustered) processor architectures,
+// reproducing Balasubramonian, Muralimanohar, Ramani and Venkatachalapathy,
+// "Microarchitectural Wire Management for Performance and Power in
+// Partitioned Architectures", HPCA-11, 2005.
+//
+// The library models a dynamically scheduled clustered processor (4 or 16
+// clusters) whose inter-cluster links are built from heterogeneous wire
+// planes — baseline B-wires, power-efficient PW-wires, and low-latency
+// L-wires — together with the paper's techniques for exploiting them: the
+// partial-address accelerated cache pipeline, narrow bit-width operand
+// transfers, mispredict signalling on L-wires, and PW-wire steering of
+// non-critical traffic.
+//
+// Quick start:
+//
+//	cfg := hetwire.DefaultConfig().WithModel(hetwire.ModelVII)
+//	res, err := hetwire.RunBenchmark(cfg, "gcc", 1_000_000)
+//	fmt.Printf("IPC %.2f\n", res.IPC())
+//
+// The experiment drivers (Figure3, Table3, Table4, ...) regenerate every
+// table and figure of the paper's evaluation; see EXPERIMENTS.md for the
+// measured results.
+package hetwire
+
+import (
+	"fmt"
+
+	"hetwire/internal/config"
+	"hetwire/internal/core"
+	"hetwire/internal/trace"
+	"hetwire/internal/workload"
+)
+
+// Stats re-exports the simulator's statistics type.
+type Stats = core.Stats
+
+// Config aliases the simulated-machine configuration; construct with
+// DefaultConfig and refine with WithModel or direct field edits.
+type Config = config.Config
+
+// ModelID selects one of the paper's interconnect models I..X.
+type ModelID = config.ModelID
+
+// The paper's interconnect models (Tables 3 and 4).
+const (
+	ModelI    = config.ModelI
+	ModelII   = config.ModelII
+	ModelIII  = config.ModelIII
+	ModelIV   = config.ModelIV
+	ModelV    = config.ModelV
+	ModelVI   = config.ModelVI
+	ModelVII  = config.ModelVII
+	ModelVIII = config.ModelVIII
+	ModelIX   = config.ModelIX
+	ModelX    = config.ModelX
+)
+
+// Topologies.
+const (
+	Crossbar4  = config.Crossbar4
+	HierRing16 = config.HierRing16
+)
+
+// DefaultConfig returns the paper's baseline machine: 4 clusters, Model I
+// homogeneous B-wire interconnect, Table 1 core parameters, no
+// heterogeneous-wire techniques.
+func DefaultConfig() Config { return config.Default() }
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	core.Stats
+	Benchmark string
+	Config    Config
+}
+
+// Simulator wraps one configured processor instance. A Simulator is
+// single-use: build one per run. Not safe for concurrent use; run separate
+// Simulators on separate goroutines instead.
+type Simulator struct {
+	cfg  config.Config
+	proc *core.Processor
+}
+
+// NewSimulator builds a simulator for the configuration.
+func NewSimulator(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{cfg: cfg, proc: core.New(cfg)}, nil
+}
+
+// Run simulates n instructions from the stream.
+func (s *Simulator) Run(src trace.Stream, n uint64) Result {
+	st := s.proc.Run(src, n)
+	return Result{Stats: st, Config: s.cfg}
+}
+
+// Warmup simulates n instructions and discards their statistics, keeping
+// caches, predictors and queues warm (the paper warms structures for 1M
+// instructions before measuring).
+func (s *Simulator) Warmup(src trace.Stream, n uint64) {
+	s.proc.Warmup(src, n)
+}
+
+// NarrowPredictorRates exposes the narrow-operand predictor's coverage and
+// false-narrow rate after a run (paper Section 4 claims: 95% and 2%).
+func (s *Simulator) NarrowPredictorRates() (coverage, falseNarrow float64) {
+	return s.proc.NarrowCoverage(), s.proc.NarrowFalseRate()
+}
+
+// Benchmarks lists the names of the 23 SPEC2000-like synthetic benchmarks.
+func Benchmarks() []string { return workload.Names() }
+
+// RunBenchmark runs one named benchmark for n instructions on the given
+// configuration.
+func RunBenchmark(cfg Config, benchmark string, n uint64) (Result, error) {
+	prof, ok := workload.ByName(benchmark)
+	if !ok {
+		return Result{}, fmt.Errorf("hetwire: unknown benchmark %q (see Benchmarks())", benchmark)
+	}
+	sim, err := NewSimulator(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res := sim.Run(workload.NewGenerator(prof), n)
+	res.Benchmark = benchmark
+	return res, nil
+}
+
+// ThreadResult is one thread's outcome in a multiprogrammed run.
+type ThreadResult struct {
+	Benchmark string
+	Clusters  []int
+	Stats     core.Stats
+}
+
+// RunMultiprogrammed executes several benchmarks concurrently on one
+// machine: clusters are partitioned evenly among the threads, while the
+// inter-cluster network and the memory hierarchy are shared — the
+// thread-level-parallelism organisation the paper motivates for 16-cluster
+// machines. Each thread's benchmark is placed in a disjoint address space.
+func RunMultiprogrammed(cfg Config, benchmarks []string, n uint64) ([]ThreadResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(benchmarks) == 0 || len(benchmarks) > cfg.Topology.Clusters() {
+		return nil, fmt.Errorf("hetwire: need between 1 and %d threads, got %d",
+			cfg.Topology.Clusters(), len(benchmarks))
+	}
+	streams := make([]trace.Stream, len(benchmarks))
+	for i, b := range benchmarks {
+		prof, ok := workload.ByName(b)
+		if !ok {
+			if prof, ok = workload.KernelByName(b); !ok {
+				return nil, fmt.Errorf("hetwire: unknown benchmark %q", b)
+			}
+		}
+		prof.AddrOffset = uint64(i) << 33
+		prof.Seed ^= uint64(i) * 0x9E37
+		streams[i] = workload.NewGenerator(prof)
+	}
+	res := core.RunMultiprogram(cfg, streams, n)
+	out := make([]ThreadResult, len(res))
+	for i, r := range res {
+		out[i] = ThreadResult{Benchmark: benchmarks[i], Clusters: r.Clusters, Stats: r.Stats}
+	}
+	return out, nil
+}
+
+// Kernels lists the synthetic microbenchmark kernels (pchase, stream,
+// brstorm, alu, xfer), accepted anywhere a benchmark name is.
+func Kernels() []string {
+	ks := workload.Kernels()
+	out := make([]string, len(ks))
+	for i, k := range ks {
+		out[i] = k.Name
+	}
+	return out
+}
+
+// RunKernel runs one named microbenchmark kernel.
+func RunKernel(cfg Config, kernel string, n uint64) (Result, error) {
+	prof, ok := workload.KernelByName(kernel)
+	if !ok {
+		return Result{}, fmt.Errorf("hetwire: unknown kernel %q (see Kernels())", kernel)
+	}
+	sim, err := NewSimulator(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res := sim.Run(workload.NewGenerator(prof), n)
+	res.Benchmark = kernel
+	return res, nil
+}

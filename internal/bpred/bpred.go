@@ -1,0 +1,246 @@
+// Package bpred implements the paper's front-end branch prediction stack
+// (Table 1): a combining predictor built from a 16K-entry bimodal table and
+// a two-level predictor (16K-entry level-1 history table with 12 bits of
+// history feeding a 16K-entry level-2 counter table), a 16K-set 2-way BTB,
+// and a return address stack.
+package bpred
+
+// counter2 is a 2-bit saturating counter. Values 0-1 predict not-taken,
+// 2-3 predict taken.
+type counter2 uint8
+
+func (c counter2) taken() bool { return c >= 2 }
+
+func (c counter2) update(taken bool) counter2 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Config sizes the predictor structures; see config.DefaultCore for the
+// paper's values.
+type Config struct {
+	BimodalSize int // entries, power of two
+	L1Size      int // level-1 history entries, power of two
+	HistoryBits int // history register length
+	L2Size      int // level-2 counter entries, power of two
+	ChooserSize int // chooser counters, power of two
+	BTBSets     int // power of two
+	BTBAssoc    int
+	RASEntries  int
+}
+
+// Predictor is a combining (bimodal + two-level) direction predictor with a
+// BTB and RAS. It is not safe for concurrent use.
+type Predictor struct {
+	cfg     Config
+	bimodal []counter2
+	l1hist  []uint32 // per-entry branch history registers
+	l2      []counter2
+	chooser []counter2 // 0-1: use bimodal, 2-3: use two-level
+
+	btbTags [][]uint64 // [set][way], 0 = invalid
+	btbTgt  [][]uint64
+	btbLRU  [][]uint8 // higher = more recently used
+
+	ras    []uint64
+	rasTop int
+
+	// Statistics.
+	Lookups     uint64
+	DirMisses   uint64
+	BTBMisses   uint64
+	BimodalUsed uint64
+	TwoLevUsed  uint64
+}
+
+// New builds a predictor. Sizes must be powers of two.
+func New(cfg Config) *Predictor {
+	for _, s := range []int{cfg.BimodalSize, cfg.L1Size, cfg.L2Size, cfg.ChooserSize, cfg.BTBSets} {
+		if s <= 0 || s&(s-1) != 0 {
+			panic("bpred: structure sizes must be positive powers of two")
+		}
+	}
+	if cfg.BTBAssoc <= 0 || cfg.HistoryBits <= 0 || cfg.HistoryBits > 30 {
+		panic("bpred: bad BTB associativity or history length")
+	}
+	p := &Predictor{
+		cfg:     cfg,
+		bimodal: make([]counter2, cfg.BimodalSize),
+		l1hist:  make([]uint32, cfg.L1Size),
+		l2:      make([]counter2, cfg.L2Size),
+		chooser: make([]counter2, cfg.ChooserSize),
+		ras:     make([]uint64, max(cfg.RASEntries, 1)),
+	}
+	// Weakly-taken initial state halves the cold-start mispredict burst.
+	for i := range p.bimodal {
+		p.bimodal[i] = 2
+	}
+	for i := range p.l2 {
+		p.l2[i] = 2
+	}
+	for i := range p.chooser {
+		p.chooser[i] = 1 // slight initial bias towards bimodal
+	}
+	p.btbTags = make([][]uint64, cfg.BTBSets)
+	p.btbTgt = make([][]uint64, cfg.BTBSets)
+	p.btbLRU = make([][]uint8, cfg.BTBSets)
+	for i := range p.btbTags {
+		p.btbTags[i] = make([]uint64, cfg.BTBAssoc)
+		p.btbTgt[i] = make([]uint64, cfg.BTBAssoc)
+		p.btbLRU[i] = make([]uint8, cfg.BTBAssoc)
+	}
+	return p
+}
+
+func (p *Predictor) bimodalIdx(pc uint64) int { return int((pc >> 2) & uint64(p.cfg.BimodalSize-1)) }
+func (p *Predictor) l1Idx(pc uint64) int      { return int((pc >> 2) & uint64(p.cfg.L1Size-1)) }
+func (p *Predictor) chooserIdx(pc uint64) int { return int((pc >> 2) & uint64(p.cfg.ChooserSize-1)) }
+
+func (p *Predictor) l2Idx(pc uint64) int {
+	hist := p.l1hist[p.l1Idx(pc)]
+	// Standard gshare-style hash of history and PC into the level-2 table.
+	return int((uint64(hist) ^ (pc >> 2)) & uint64(p.cfg.L2Size-1))
+}
+
+// PredictDirection returns the predicted direction for a conditional branch
+// at pc.
+func (p *Predictor) PredictDirection(pc uint64) bool {
+	bim := p.bimodal[p.bimodalIdx(pc)].taken()
+	two := p.l2[p.l2Idx(pc)].taken()
+	if p.chooser[p.chooserIdx(pc)].taken() {
+		return two
+	}
+	return bim
+}
+
+// UpdateDirection trains all direction structures with the actual outcome
+// and returns whether the prediction (recomputed pre-update) was correct.
+func (p *Predictor) UpdateDirection(pc uint64, taken bool) bool {
+	bIdx, tIdx, cIdx := p.bimodalIdx(pc), p.l2Idx(pc), p.chooserIdx(pc)
+	bim := p.bimodal[bIdx].taken()
+	two := p.l2[tIdx].taken()
+	useTwo := p.chooser[cIdx].taken()
+	pred := bim
+	if useTwo {
+		pred = two
+		p.TwoLevUsed++
+	} else {
+		p.BimodalUsed++
+	}
+	p.Lookups++
+	correct := pred == taken
+
+	// Train the chooser only when the components disagree.
+	if bim != two {
+		p.chooser[cIdx] = p.chooser[cIdx].update(two == taken)
+	}
+	p.bimodal[bIdx] = p.bimodal[bIdx].update(taken)
+	p.l2[tIdx] = p.l2[tIdx].update(taken)
+	h := &p.l1hist[p.l1Idx(pc)]
+	*h = (*h<<1 | b2u(taken)) & (1<<uint(p.cfg.HistoryBits) - 1)
+
+	if !correct {
+		p.DirMisses++
+	}
+	return correct
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// btbTag distinguishes PCs mapping to the same set.
+func (p *Predictor) btbTag(pc uint64) uint64 {
+	return pc>>2 + 1 // +1 so a valid tag is never zero (0 = invalid)
+}
+
+func (p *Predictor) btbSet(pc uint64) int { return int((pc >> 2) & uint64(p.cfg.BTBSets-1)) }
+
+// LookupTarget returns the BTB-predicted target for a taken branch at pc,
+// and whether the BTB hit.
+func (p *Predictor) LookupTarget(pc uint64) (uint64, bool) {
+	set := p.btbSet(pc)
+	tag := p.btbTag(pc)
+	for w, wtag := range p.btbTags[set] {
+		if wtag == tag {
+			p.touchBTB(set, w)
+			return p.btbTgt[set][w], true
+		}
+	}
+	p.BTBMisses++
+	return 0, false
+}
+
+// UpdateTarget installs or refreshes the target for a taken branch.
+func (p *Predictor) UpdateTarget(pc, target uint64) {
+	set := p.btbSet(pc)
+	tag := p.btbTag(pc)
+	victim := 0
+	for w, wtag := range p.btbTags[set] {
+		if wtag == tag {
+			p.btbTgt[set][w] = target
+			p.touchBTB(set, w)
+			return
+		}
+		if p.btbLRU[set][w] < p.btbLRU[set][victim] {
+			victim = w
+		}
+	}
+	p.btbTags[set][victim] = tag
+	p.btbTgt[set][victim] = target
+	p.touchBTB(set, victim)
+}
+
+func (p *Predictor) touchBTB(set, way int) {
+	for w := range p.btbLRU[set] {
+		if p.btbLRU[set][w] > 0 {
+			p.btbLRU[set][w]--
+		}
+	}
+	p.btbLRU[set][way] = uint8(p.cfg.BTBAssoc)
+}
+
+// PushRAS records a call's return address.
+func (p *Predictor) PushRAS(ret uint64) {
+	p.ras[p.rasTop] = ret
+	p.rasTop = (p.rasTop + 1) % len(p.ras)
+}
+
+// PopRAS predicts a return target; ok is false when the stack is empty
+// (all-zero slot).
+func (p *Predictor) PopRAS() (uint64, bool) {
+	p.rasTop = (p.rasTop - 1 + len(p.ras)) % len(p.ras)
+	v := p.ras[p.rasTop]
+	return v, v != 0
+}
+
+// ResetStats zeroes prediction counters, keeping all learned state.
+func (p *Predictor) ResetStats() {
+	p.Lookups, p.DirMisses, p.BTBMisses, p.BimodalUsed, p.TwoLevUsed = 0, 0, 0, 0, 0
+}
+
+// Accuracy returns the fraction of correct direction predictions so far.
+func (p *Predictor) Accuracy() float64 {
+	if p.Lookups == 0 {
+		return 1
+	}
+	return 1 - float64(p.DirMisses)/float64(p.Lookups)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,225 @@
+package bpred
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hetwire/internal/xrand"
+)
+
+func testConfig() Config {
+	return Config{
+		BimodalSize: 16384,
+		L1Size:      16384,
+		HistoryBits: 12,
+		L2Size:      16384,
+		ChooserSize: 16384,
+		BTBSets:     16384,
+		BTBAssoc:    2,
+		RASEntries:  32,
+	}
+}
+
+func TestCounterSaturation(t *testing.T) {
+	c := counter2(0)
+	for i := 0; i < 10; i++ {
+		c = c.update(true)
+	}
+	if c != 3 {
+		t.Errorf("counter should saturate at 3, got %d", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = c.update(false)
+	}
+	if c != 0 {
+		t.Errorf("counter should saturate at 0, got %d", c)
+	}
+}
+
+// TestAlwaysTakenBranch: a monomorphic branch must be learned essentially
+// perfectly after warmup.
+func TestAlwaysTakenBranch(t *testing.T) {
+	p := New(testConfig())
+	const pc = 0x40001000
+	for i := 0; i < 8; i++ {
+		p.UpdateDirection(pc, true)
+	}
+	misses := uint64(0)
+	for i := 0; i < 1000; i++ {
+		before := p.DirMisses
+		p.UpdateDirection(pc, true)
+		misses += p.DirMisses - before
+	}
+	if misses != 0 {
+		t.Errorf("always-taken branch mispredicted %d/1000 times after warmup", misses)
+	}
+}
+
+// TestAlternatingBranchLearnedByTwoLevel: a strict T/NT alternation defeats
+// bimodal but is perfectly capturable by 12 bits of local history; the
+// combining predictor must converge on the two-level side.
+func TestAlternatingBranchLearnedByTwoLevel(t *testing.T) {
+	p := New(testConfig())
+	const pc = 0x40002000
+	taken := false
+	for i := 0; i < 200; i++ { // warmup: learn pattern + chooser
+		p.UpdateDirection(pc, taken)
+		taken = !taken
+	}
+	missesBefore := p.DirMisses
+	for i := 0; i < 1000; i++ {
+		p.UpdateDirection(pc, taken)
+		taken = !taken
+	}
+	misses := p.DirMisses - missesBefore
+	if misses > 10 {
+		t.Errorf("alternating branch mispredicted %d/1000 times; two-level should capture it", misses)
+	}
+}
+
+// TestLoopPattern: (T^9 NT)* is a classic loop-branch pattern within the
+// 12-bit history reach.
+func TestLoopPattern(t *testing.T) {
+	p := New(testConfig())
+	const pc = 0x40003000
+	outcome := func(i int) bool { return i%10 != 9 }
+	for i := 0; i < 400; i++ {
+		p.UpdateDirection(pc, outcome(i))
+	}
+	missesBefore := p.DirMisses
+	for i := 400; i < 1400; i++ {
+		p.UpdateDirection(pc, outcome(i))
+	}
+	misses := p.DirMisses - missesBefore
+	if misses > 50 { // 10% of 1000; a learned loop should be far below
+		t.Errorf("loop pattern mispredicted %d/1000 times", misses)
+	}
+}
+
+// TestRandomBranchAccuracyBounded: on a 50/50 random branch no predictor can
+// do much better than chance; sanity-check we are within [35%, 65%].
+func TestRandomBranchAccuracyBounded(t *testing.T) {
+	p := New(testConfig())
+	src := xrand.New(7)
+	const pc = 0x40004000
+	for i := 0; i < 20000; i++ {
+		p.UpdateDirection(pc, src.Bool(0.5))
+	}
+	acc := p.Accuracy()
+	if acc < 0.35 || acc > 0.65 {
+		t.Errorf("random-branch accuracy %.3f outside sanity bounds", acc)
+	}
+}
+
+// TestBiasedBranchesAccuracy: a population of branches with 90% bias should
+// be predicted at roughly >= 85% accuracy.
+func TestBiasedBranchesAccuracy(t *testing.T) {
+	p := New(testConfig())
+	src := xrand.New(11)
+	for i := 0; i < 100000; i++ {
+		pc := uint64(0x400000 + (i%64)*4)
+		bias := 0.9
+		if i%64%2 == 0 {
+			bias = 0.1
+		}
+		p.UpdateDirection(pc, src.Bool(bias))
+	}
+	if acc := p.Accuracy(); acc < 0.85 {
+		t.Errorf("biased-branch accuracy %.3f, want >= 0.85", acc)
+	}
+}
+
+func TestBTBHitAfterInstall(t *testing.T) {
+	p := New(testConfig())
+	p.UpdateTarget(0x1000, 0x2000)
+	tgt, ok := p.LookupTarget(0x1000)
+	if !ok || tgt != 0x2000 {
+		t.Fatalf("BTB lookup = (%#x, %v), want (0x2000, true)", tgt, ok)
+	}
+	if _, ok := p.LookupTarget(0x1004); ok {
+		t.Error("BTB hit for never-installed PC")
+	}
+}
+
+// TestBTBAssociativityAndEviction: two PCs in the same set coexist (2-way);
+// a third evicts the least recently used.
+func TestBTBAssociativityAndEviction(t *testing.T) {
+	cfg := testConfig()
+	cfg.BTBSets = 2 // tiny BTB to force conflicts
+	p := New(cfg)
+	// These PCs all map to set 0 (pc>>2 even).
+	a, b, c := uint64(0x00), uint64(0x10), uint64(0x20)
+	p.UpdateTarget(a, 0xA)
+	p.UpdateTarget(b, 0xB)
+	if _, ok := p.LookupTarget(a); !ok {
+		t.Fatal("way 0 lost after filling way 1")
+	}
+	if _, ok := p.LookupTarget(b); !ok {
+		t.Fatal("way 1 missing")
+	}
+	// Touch a, then install c: b should be the LRU victim.
+	p.LookupTarget(a)
+	p.UpdateTarget(c, 0xC)
+	if _, ok := p.LookupTarget(a); !ok {
+		t.Error("MRU entry was evicted")
+	}
+	if _, ok := p.LookupTarget(b); ok {
+		t.Error("LRU entry survived eviction")
+	}
+}
+
+func TestRASLIFO(t *testing.T) {
+	p := New(testConfig())
+	p.PushRAS(0x100)
+	p.PushRAS(0x200)
+	if v, ok := p.PopRAS(); !ok || v != 0x200 {
+		t.Errorf("first pop = (%#x,%v), want (0x200,true)", v, ok)
+	}
+	if v, ok := p.PopRAS(); !ok || v != 0x100 {
+		t.Errorf("second pop = (%#x,%v), want (0x100,true)", v, ok)
+	}
+}
+
+// TestPredictMatchesUpdate: property — PredictDirection agrees with the
+// prediction UpdateDirection scores, for arbitrary pc/outcome sequences.
+func TestPredictMatchesUpdate(t *testing.T) {
+	p := New(testConfig())
+	f := func(pcSeed uint16, taken bool) bool {
+		pc := uint64(pcSeed) * 4
+		pred := p.PredictDirection(pc)
+		missesBefore := p.DirMisses
+		p.UpdateDirection(pc, taken)
+		gotCorrect := p.DirMisses == missesBefore
+		return gotCorrect == (pred == taken)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHistoryBounded: property — the history register never exceeds its
+// configured width.
+func TestHistoryBounded(t *testing.T) {
+	p := New(testConfig())
+	src := xrand.New(3)
+	for i := 0; i < 10000; i++ {
+		p.UpdateDirection(uint64(src.Intn(1024))*4, src.Bool(0.7))
+	}
+	limit := uint32(1)<<12 - 1
+	for _, h := range p.l1hist {
+		if h > limit {
+			t.Fatalf("history register %#x exceeds 12 bits", h)
+		}
+	}
+}
+
+func TestNewRejectsBadSizes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New accepted a non-power-of-two table size")
+		}
+	}()
+	cfg := testConfig()
+	cfg.BimodalSize = 1000
+	New(cfg)
+}

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+
+	"hetwire/internal/config"
+	"hetwire/internal/stats"
+	"hetwire/internal/workload"
+)
+
+func TestCalibrateAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	var ipcs []float64
+	for _, prof := range workload.SPEC2K() {
+		p := New(config.Default())
+		st := p.Run(workload.NewGenerator(prof), 150000)
+		ipcs = append(ipcs, st.IPC())
+		t.Logf("%-8s IPC=%.3f l1d=%.3f l2=%.3f bracc=%.3f xferFrac=%.2f loadLat=%.1f lsqW=%.1f srcW=%.1f dispSt=%.1f",
+			prof.Name, st.IPC(), st.L1DMissRate, st.L2MissRate, st.BranchAccuracy,
+			float64(st.OperandTransfers)/float64(st.OperandTransfers+st.LocalOperands),
+			float64(st.SumLoadLatency)/float64(st.Loads),
+			float64(st.SumLSQWait)/float64(st.Loads),
+			float64(st.SumSrcWait)/float64(st.Instructions),
+			float64(st.SumDispatchStall)/float64(st.Instructions))
+	}
+	t.Logf("AM IPC = %.3f", stats.ArithmeticMean(ipcs))
+}

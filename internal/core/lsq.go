@@ -1,0 +1,173 @@
+package core
+
+import (
+	"hetwire/internal/config"
+)
+
+// lsqStore is one in-flight store tracked by the centralized load/store
+// queue.
+type lsqStore struct {
+	seq       uint64 // program-order sequence number
+	addr      uint64
+	partialAt uint64 // LS address bits known at the LSQ (L-wire pipeline)
+	fullAt    uint64 // full address known at the LSQ
+	dataAt    uint64 // store data available at the LSQ
+	commitAt  uint64 // store leaves the LSQ
+}
+
+// lsqState models the centralized LSQ: memory disambiguation against
+// earlier in-flight stores, with either full-address comparison (baseline)
+// or the paper's partial-address (LS-bit) early comparison.
+type lsqState struct {
+	stores []lsqStore
+	lsMask uint64
+	seq    uint64
+}
+
+func newLSQ(cfg config.Config) *lsqState {
+	bits := cfg.Tech.LSBits
+	if bits == 0 {
+		bits = 8
+	}
+	return &lsqState{lsMask: 1<<uint(bits) - 1}
+}
+
+// word returns the 8-byte-word address used for dependence comparison.
+func word(addr uint64) uint64 { return addr >> 3 }
+
+// partial returns the LS comparison bits of an address.
+func (l *lsqState) partial(addr uint64) uint64 { return word(addr) & l.lsMask }
+
+// prune drops stores that left the LSQ well before the given time. The
+// generous margin keeps pruning safe even though out-of-order address
+// generation makes arrival times only roughly monotone.
+func (l *lsqState) prune(before uint64) {
+	const margin = 2048
+	if before < margin {
+		return
+	}
+	cutoff := before - margin
+	i := 0
+	for _, st := range l.stores {
+		if st.commitAt > cutoff {
+			l.stores[i] = st
+			i++
+		}
+	}
+	l.stores = l.stores[:i]
+}
+
+// addStore registers an in-flight store. Stores are added in program order.
+func (l *lsqState) addStore(st lsqStore) {
+	l.prune(st.partialAt)
+	l.stores = append(l.stores, st)
+}
+
+// nextSeq hands out program-order sequence numbers.
+func (l *lsqState) nextSeq() uint64 {
+	l.seq++
+	return l.seq
+}
+
+// loadTiming is the disambiguation result for one load.
+type loadTiming struct {
+	// start is the cycle at which the load is free of memory-dependence
+	// constraints and may access the cache (full-address path), or at which
+	// the partial comparison cleared it (partial path).
+	start uint64
+	// indexReady is when cache RAM indexing may begin (early on the L-wire
+	// path).
+	indexReady uint64
+	// forwarded: an earlier store to the same word supplies the data.
+	forwarded bool
+	// dataAt: when forwarded data is available (valid when forwarded).
+	dataAt uint64
+	// falseDep: the partial comparison matched but the full addresses
+	// differ (paper: <9% of loads with 8 LS bits).
+	falseDep bool
+	// partialChecked: the partial path performed a comparison.
+	partialChecked bool
+}
+
+// disambiguateFull is the baseline LSQ pipeline: the load waits for its own
+// full address and for the full addresses of all earlier in-flight stores,
+// then either forwards from a matching store or proceeds to the cache.
+func (l *lsqState) disambiguateFull(seq uint64, addr uint64, addrAt uint64) loadTiming {
+	t := loadTiming{start: addrAt, indexReady: addrAt}
+	for i := range l.stores {
+		st := &l.stores[i]
+		if st.seq >= seq || st.commitAt <= addrAt {
+			continue // later store, or already retired from the LSQ
+		}
+		if st.fullAt > t.start {
+			t.start = st.fullAt
+		}
+		if word(st.addr) == word(addr) {
+			t.forwarded = true
+			if st.dataAt > t.dataAt {
+				t.dataAt = st.dataAt
+			}
+		}
+	}
+	t.indexReady = t.start
+	if t.forwarded {
+		if t.dataAt < t.start {
+			t.dataAt = t.start
+		}
+		t.dataAt++ // forwarding mux
+	}
+	return t
+}
+
+// disambiguatePartial is the paper's accelerated pipeline: the LS bits
+// (arriving early on L-wires) are compared against the LS bits of earlier
+// stores. No match => the load is dependence-free and cache RAM access
+// begins immediately; a match requires the full addresses (arriving on
+// B-wires) of the matching stores before resolution.
+func (l *lsqState) disambiguatePartial(seq uint64, addr uint64, lsAt, fullAt uint64) loadTiming {
+	t := loadTiming{partialChecked: true}
+	partialStart := lsAt
+	anyMatch := false
+	resolveAt := fullAt
+	for i := range l.stores {
+		st := &l.stores[i]
+		if st.seq >= seq || st.commitAt <= lsAt {
+			continue
+		}
+		if st.partialAt > partialStart {
+			partialStart = st.partialAt
+		}
+		if l.partial(st.addr) == l.partial(addr) {
+			anyMatch = true
+			if st.fullAt > resolveAt {
+				resolveAt = st.fullAt
+			}
+			if word(st.addr) == word(addr) {
+				t.forwarded = true
+				if st.dataAt > t.dataAt {
+					t.dataAt = st.dataAt
+				}
+			}
+		}
+	}
+	if !anyMatch {
+		// Dependence-free: RAM access starts as soon as the LS bits and the
+		// earlier stores' LS bits are in; the full address (needed only for
+		// the final tag compare) arrives on B-wires.
+		t.start = fullAt
+		t.indexReady = partialStart
+		return t
+	}
+	// Partial match: wait for the full addresses of the matching stores.
+	t.start = resolveAt
+	t.indexReady = partialStart // RAM banks were prefetched speculatively
+	if t.forwarded {
+		if t.dataAt < t.start {
+			t.dataAt = t.start
+		}
+		t.dataAt++
+	} else {
+		t.falseDep = true
+	}
+	return t
+}

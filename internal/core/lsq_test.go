@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hetwire/internal/config"
+	"hetwire/internal/xrand"
+)
+
+func newTestLSQ() *lsqState {
+	cfg := config.Default()
+	cfg.Tech.LSBits = 8
+	return newLSQ(cfg)
+}
+
+// TestFullDisambiguationNoStores: with an empty LSQ a load starts as soon
+// as its address arrives.
+func TestFullDisambiguationNoStores(t *testing.T) {
+	l := newTestLSQ()
+	tm := l.disambiguateFull(1, 0x1000, 50)
+	if tm.start != 50 || tm.forwarded || tm.falseDep {
+		t.Fatalf("unexpected timing: %+v", tm)
+	}
+}
+
+// TestFullDisambiguationWaitsForPriorStoreAddress: a load must wait for the
+// full address of an earlier in-flight store.
+func TestFullDisambiguationWaitsForPriorStoreAddress(t *testing.T) {
+	l := newTestLSQ()
+	l.addStore(lsqStore{seq: 1, addr: 0x2000, partialAt: 60, fullAt: 80, dataAt: 90, commitAt: 200})
+	tm := l.disambiguateFull(2, 0x3000, 50)
+	if tm.start != 80 {
+		t.Errorf("load start = %d, want 80 (prior store address)", tm.start)
+	}
+	if tm.forwarded {
+		t.Error("different word must not forward")
+	}
+}
+
+// TestFullDisambiguationForwarding: a matching earlier store forwards its
+// data (one extra cycle for the bypass mux).
+func TestFullDisambiguationForwarding(t *testing.T) {
+	l := newTestLSQ()
+	l.addStore(lsqStore{seq: 1, addr: 0x2000, partialAt: 60, fullAt: 60, dataAt: 95, commitAt: 200})
+	tm := l.disambiguateFull(2, 0x2004, 50) // same 8-byte word as 0x2000? no: 0x2000>>3=0x400, 0x2004>>3=0x400 yes
+	if !tm.forwarded {
+		t.Fatal("same-word store did not forward")
+	}
+	if tm.dataAt != 96 {
+		t.Errorf("forwarded data at %d, want 96 (dataAt 95 + mux)", tm.dataAt)
+	}
+}
+
+// TestRetiredStoresIgnored: stores that left the LSQ before the load's
+// address arrived impose no constraint.
+func TestRetiredStoresIgnored(t *testing.T) {
+	l := newTestLSQ()
+	l.addStore(lsqStore{seq: 1, addr: 0x2000, partialAt: 10, fullAt: 20, dataAt: 20, commitAt: 30})
+	tm := l.disambiguateFull(2, 0x2000, 50) // store committed at 30 < 50
+	if tm.start != 50 || tm.forwarded {
+		t.Errorf("retired store affected the load: %+v", tm)
+	}
+}
+
+// TestLaterStoresIgnored: program-order-later stores never constrain a load.
+func TestLaterStoresIgnored(t *testing.T) {
+	l := newTestLSQ()
+	l.addStore(lsqStore{seq: 10, addr: 0x2000, partialAt: 10, fullAt: 500, dataAt: 500, commitAt: 600})
+	tm := l.disambiguateFull(5, 0x2000, 50)
+	if tm.start != 50 {
+		t.Errorf("later store delayed an earlier load: %+v", tm)
+	}
+}
+
+// TestPartialNoMatchStartsEarly: when the LS bits match no prior store, RAM
+// indexing begins at the partial arrival and only the load's own MS bits
+// gate the final compare.
+func TestPartialNoMatchStartsEarly(t *testing.T) {
+	l := newTestLSQ()
+	l.addStore(lsqStore{seq: 1, addr: 0x2000, partialAt: 55, fullAt: 300, dataAt: 300, commitAt: 400})
+	// 0x3008 differs from 0x2000 in LS word bits: (0x3008>>3)&0xff = 0x01 vs 0x00.
+	tm := l.disambiguatePartial(2, 0x3008, 52, 54)
+	if !tm.partialChecked {
+		t.Fatal("partial path not taken")
+	}
+	if tm.indexReady != 55 {
+		t.Errorf("indexReady = %d, want 55 (all prior partials in)", tm.indexReady)
+	}
+	if tm.start != 54 {
+		t.Errorf("start = %d, want 54 (own MS bits), not the store's late full address", tm.start)
+	}
+	if tm.falseDep || tm.forwarded {
+		t.Errorf("unexpected flags: %+v", tm)
+	}
+}
+
+// TestPartialFalseDependence: LS bits collide but the full addresses
+// differ — the load must wait for the store's full address and the event is
+// counted as a false dependence.
+func TestPartialFalseDependence(t *testing.T) {
+	l := newTestLSQ()
+	// Same LS word bits: word 0x400 (addr 0x2000) vs word 0x500 (addr
+	// 0x2800): 0x400&0xff = 0, 0x500&0xff = 0. Collision.
+	l.addStore(lsqStore{seq: 1, addr: 0x2000, partialAt: 55, fullAt: 120, dataAt: 130, commitAt: 400})
+	tm := l.disambiguatePartial(2, 0x2800, 52, 60)
+	if !tm.falseDep {
+		t.Fatal("LS-bit collision not flagged as false dependence")
+	}
+	if tm.start != 120 {
+		t.Errorf("start = %d, want 120 (matching store's full address)", tm.start)
+	}
+	if tm.forwarded {
+		t.Error("false dependence must not forward")
+	}
+}
+
+// TestPartialTrueForwarding: a genuine same-word match forwards after the
+// full addresses resolve.
+func TestPartialTrueForwarding(t *testing.T) {
+	l := newTestLSQ()
+	l.addStore(lsqStore{seq: 1, addr: 0x2000, partialAt: 55, fullAt: 70, dataAt: 100, commitAt: 400})
+	tm := l.disambiguatePartial(2, 0x2000, 52, 60)
+	if !tm.forwarded || tm.falseDep {
+		t.Fatalf("expected clean forward: %+v", tm)
+	}
+	if tm.dataAt != 101 {
+		t.Errorf("forward data at %d, want 101", tm.dataAt)
+	}
+}
+
+// TestPruneDropsOldStores: pruning removes stores that committed long ago
+// and keeps recent ones.
+func TestPruneDropsOldStores(t *testing.T) {
+	l := newTestLSQ()
+	for i := uint64(1); i <= 100; i++ {
+		l.addStore(lsqStore{seq: i, addr: i * 8, partialAt: i, fullAt: i, dataAt: i, commitAt: i + 10})
+	}
+	l.prune(100_000)
+	if len(l.stores) != 0 {
+		t.Errorf("%d stale stores survived pruning", len(l.stores))
+	}
+}
+
+// TestPartialNeverFasterThanOwnBits is a property: the partial path's start
+// time never precedes the load's own MS-bit arrival, and indexReady never
+// precedes the LS-bit arrival.
+func TestPartialNeverFasterThanOwnBits(t *testing.T) {
+	src := xrand.New(9)
+	l := newTestLSQ()
+	f := func(addrRaw uint16, lsOff, msOff uint8) bool {
+		seq := l.nextSeq()
+		if src.Bool(0.3) {
+			l.addStore(lsqStore{
+				seq: seq, addr: uint64(addrRaw) * 8,
+				partialAt: 1000 + uint64(lsOff), fullAt: 1010 + uint64(msOff),
+				dataAt: 1020, commitAt: 2000 + uint64(seq),
+			})
+			return true
+		}
+		ls := 1000 + uint64(lsOff)
+		ms := ls + 2 + uint64(msOff)
+		tm := l.disambiguatePartial(l.nextSeq(), uint64(addrRaw)*8, ls, ms)
+		return tm.start >= ms && tm.indexReady >= ls
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

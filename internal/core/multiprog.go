@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"hetwire/internal/cache"
+	"hetwire/internal/config"
+	"hetwire/internal/noc"
+	"hetwire/internal/trace"
+)
+
+// SharedFabric is the part of the machine that multiprogrammed threads
+// share: the inter-cluster network (links, buffers, imbalance detector) and
+// the centralized memory hierarchy. The paper motivates 16-cluster machines
+// partly through thread-level parallelism; this realises the natural
+// partitioned-TLP organisation — each thread owns a disjoint set of
+// clusters but contends for wires and cache.
+type SharedFabric struct {
+	net *noc.Network
+	mem *cache.Hierarchy
+}
+
+// NewSharedFabric builds the shared interconnect and memory for a
+// configuration.
+func NewSharedFabric(cfg config.Config) *SharedFabric {
+	p := New(cfg) // reuse the construction logic, keep only the shared parts
+	return &SharedFabric{net: p.net, mem: p.mem}
+}
+
+// NewOnFabric builds a processor context (front end, clusters, LSQ
+// sequencing) that executes on a shared fabric, restricted to the given
+// clusters. The cluster list must be non-empty and within the topology.
+func NewOnFabric(cfg config.Config, fab *SharedFabric, clusters []int) *Processor {
+	if len(clusters) == 0 {
+		panic("core: thread needs at least one cluster")
+	}
+	for _, c := range clusters {
+		if c < 0 || c >= cfg.Topology.Clusters() {
+			panic(fmt.Sprintf("core: cluster %d outside topology", c))
+		}
+	}
+	p := New(cfg)
+	p.net = fab.net
+	p.mem = fab.mem
+	p.allowed = append([]int(nil), clusters...)
+	for r := range p.regs {
+		p.regs[r].cluster = clusters[r%len(clusters)]
+	}
+	return p
+}
+
+// candidateClusters returns the clusters this processor may steer to.
+func (p *Processor) candidateClusters() []int {
+	if p.allowed != nil {
+		return p.allowed
+	}
+	if p.all == nil {
+		p.all = make([]int, p.nClusters)
+		for i := range p.all {
+			p.all[i] = i
+		}
+	}
+	return p.all
+}
+
+// ThreadResult pairs a thread's statistics with its cluster allocation.
+type ThreadResult struct {
+	Stats    Stats
+	Clusters []int
+}
+
+// RunMultiprogram executes one instruction stream per thread on a machine
+// with a shared interconnect and cache, partitioning the clusters evenly.
+// Threads are interleaved by their commit frontier so the shared calendars
+// see time-aligned contention. Per-thread Stats carry private pipeline
+// statistics; the network counters in each Stats describe the whole shared
+// fabric and are therefore identical across threads.
+func RunMultiprogram(cfg config.Config, streams []trace.Stream, n uint64) []ThreadResult {
+	if len(streams) == 0 {
+		return nil
+	}
+	total := cfg.Topology.Clusters()
+	if len(streams) > total {
+		panic("core: more threads than clusters")
+	}
+	per := total / len(streams)
+	fab := NewSharedFabric(cfg)
+
+	procs := make([]*Processor, len(streams))
+	out := make([]ThreadResult, len(streams))
+	for i := range streams {
+		clusters := make([]int, per)
+		for j := range clusters {
+			clusters[j] = i*per + j
+		}
+		procs[i] = NewOnFabric(cfg, fab, clusters)
+		out[i].Clusters = clusters
+	}
+
+	remaining := make([]uint64, len(streams))
+	for i := range remaining {
+		remaining[i] = n
+	}
+	var ins trace.Instr
+	active := len(streams)
+	for active > 0 {
+		// Step the thread whose commit frontier is furthest behind, keeping
+		// the shared calendars time-aligned across threads.
+		pick := -1
+		for i, p := range procs {
+			if remaining[i] == 0 {
+				continue
+			}
+			if pick == -1 || p.lastCommit < procs[pick].lastCommit {
+				pick = i
+			}
+		}
+		if !streams[pick].Next(&ins) {
+			remaining[pick] = 0
+			active--
+			continue
+		}
+		procs[pick].step(&ins)
+		remaining[pick]--
+		if remaining[pick] == 0 {
+			active--
+		}
+	}
+	for i, p := range procs {
+		p.finalize()
+		out[i].Stats = p.s
+	}
+	return out
+}

@@ -1,0 +1,395 @@
+package core
+
+import (
+	"hetwire/internal/cache"
+	"hetwire/internal/narrow"
+	"hetwire/internal/noc"
+	"hetwire/internal/trace"
+	"hetwire/internal/wires"
+)
+
+// Message sizes in bits (Section 3/4): a full operand or address transfer
+// carries 64 bits of data plus up to 8 bits of tag on B/PW wires; an L-wire
+// transfer carries 18 bits (8 tag + 10 data, or tag + LS address bits); the
+// most-significant address bits follow on B-wires after an LS-bit prefix;
+// a branch mispredict signal carries only the branch ID.
+const (
+	bitsFull    = 72
+	bitsL       = 18
+	bitsMSAddr  = 54
+	bitsMispred = 8
+)
+
+// step advances the model by one dynamic instruction.
+func (p *Processor) step(ins *trace.Instr) {
+	seq := p.lsq.nextSeq()
+	p.s.Instructions++
+	myCfg := &p.cfg
+
+	// ---------------- Fetch ----------------
+	fetchReq := maxU(p.lastFetch, p.redirectAt)
+
+	// Instruction-cache access on crossing into a new line (or after a
+	// redirect, which clears curFetchLine).
+	if line := ins.PC &^ uint64(myCfg.Core.LineBytes-1); line != p.curFetchLine {
+		done, _ := p.mem.FetchAccess(ins.PC, fetchReq)
+		if done > fetchReq+1 {
+			fetchReq = done - 1 // miss: stall until the line arrives
+		}
+		p.curFetchLine = line
+	}
+
+	// Fetch-queue entry (freed at dispatch) and fetch bandwidth.
+	fetchReq = maxU(fetchReq, p.fetchQ.Acquire(fetchReq))
+	fetchAt := p.fetchCal.Reserve(fetchReq)
+
+	// At most MaxBlocksFetch basic blocks per cycle: a block boundary is
+	// the instruction after a taken branch.
+	if p.pendingBlockStart {
+		for {
+			if fetchAt != p.blkCycle {
+				p.blkCycle, p.blkCount = fetchAt, 1
+				break
+			}
+			if p.blkCount < myCfg.Core.MaxBlocksFetch {
+				p.blkCount++
+				break
+			}
+			fetchAt = p.fetchCal.Reserve(fetchAt + 1)
+		}
+		p.pendingBlockStart = false
+	}
+	p.lastFetch = fetchAt
+
+	// Branch prediction happens at fetch.
+	mispredict := false
+	if ins.Op == trace.Branch {
+		p.s.Branches++
+		dirCorrect := p.bp.UpdateDirection(ins.PC, ins.Taken)
+		if ins.Taken {
+			tgt, hit := p.bp.LookupTarget(ins.PC)
+			if !hit || tgt != ins.Target {
+				mispredict = true // misfetch: no (correct) target available
+			}
+			p.bp.UpdateTarget(ins.PC, ins.Target)
+			p.pendingBlockStart = true
+		}
+		if !dirCorrect {
+			mispredict = true
+		}
+		if mispredict {
+			p.s.Mispredicts++
+		}
+	}
+
+	// ---------------- Dispatch / rename / steer ----------------
+	dispatchReq := maxU(fetchAt+frontDepth, p.lastDispatch)
+	// ROB slot: instruction i needs the commit of instruction i-ROBSize.
+	if oldest := p.rob[p.robPos]; oldest+1 > dispatchReq {
+		dispatchReq = oldest + 1
+	}
+
+	clusterID := p.steer(ins, dispatchReq)
+	cl := p.clusters[clusterID]
+	iq, regs := cl.intIQ, cl.intRegs
+	if ins.Op.IsFP() {
+		iq, regs = cl.fpIQ, cl.fpRegs
+	}
+	dispatchReq = maxU(dispatchReq, iq.Acquire(dispatchReq))
+	if ins.Dest != trace.NoReg {
+		dispatchReq = maxU(dispatchReq, regs.Acquire(dispatchReq))
+	}
+	dispatchAt := p.dispatchCal.Reserve(dispatchReq)
+	p.lastDispatch = dispatchAt
+	p.fetchQ.Commit(dispatchAt)
+	p.s.SumDispatchStall += dispatchAt - (fetchAt + frontDepth)
+
+	// ---------------- Source operands ----------------
+	ready := dispatchAt + 1
+	var src2Ready uint64
+	for si, src := range []int16{ins.Src1, ins.Src2} {
+		if src == trace.NoReg {
+			continue
+		}
+		at := p.operandReady(src, clusterID, dispatchAt)
+		if si == 1 {
+			src2Ready = at
+			if ins.Op == trace.Store {
+				// A store's data operand feeds the store-data transfer,
+				// not address generation: stores issue AGEN as soon as the
+				// base register is ready.
+				continue
+			}
+		}
+		if at > ready {
+			ready = at
+		}
+	}
+
+	p.s.SumSrcWait += ready - (dispatchAt + 1)
+
+	// ---------------- Issue / execute ----------------
+	issueAt := cl.fus[fuFor(ins.Op)].Reserve(ready)
+	p.s.SumFUWait += issueAt - ready
+	iq.Commit(issueAt + 1)
+	execDone := issueAt + uint64(ins.Op.Latency())
+
+	// ---------------- Op-specific back end ----------------
+	completion := execDone
+	destReady := execDone
+	me := noc.Cluster(clusterID)
+
+	switch ins.Op {
+	case trace.Branch:
+		if mispredict {
+			class := wires.B
+			if myCfg.Tech.MispredictOnL {
+				class = wires.L
+			} else if !p.cfg.Model.Link.Has(wires.B) {
+				class = wires.PW
+			}
+			arrive := p.net.Transfer(me, noc.Cache, class, bitsMispred, execDone)
+			if arrive+1 > p.redirectAt {
+				p.redirectAt = arrive + 1
+			}
+			p.curFetchLine = 0 // refetch re-reads the I-cache
+		}
+
+	case trace.Load:
+		p.s.Loads++
+		t := p.sendAddress(me, seq, ins.Addr, execDone, true)
+		var dataAt uint64
+		level := cache.LevelL1
+		if t.forwarded {
+			p.s.StoreForwards++
+			dataAt = t.dataAt
+		} else {
+			dataAt, level = p.mem.DataAccess(ins.Addr, t.indexReady, t.start)
+		}
+		retClass := wires.B
+		retBits := bitsFull
+		switch {
+		case myCfg.Tech.CriticalWordOnL && level != cache.LevelL1 &&
+			narrow.IsNarrow(ins.Value, myCfg.Core.NarrowMaxBits):
+			// Critical-word return from L2/memory on L-wires: the cache
+			// holds the value, so width detection is exact.
+			retClass, retBits = wires.L, bitsL
+			p.s.CriticalWordOnL++
+		case !p.cfg.Model.Link.Has(wires.B):
+			retClass = wires.PW
+		case myCfg.Tech.PWLoadBalance && p.net.PreferPW(dataAt):
+			retClass = wires.PW
+			p.s.BalancePW++
+		}
+		destReady = p.net.Transfer(noc.Cache, me, retClass, retBits, dataAt)
+		completion = destReady
+		p.s.SumLoadLatency += destReady - execDone
+		p.s.SumLSQWait += t.start - t.partialAt
+
+	case trace.Store:
+		p.s.Stores++
+		t := p.sendAddress(me, seq, ins.Addr, execDone, false)
+		// Store data ships to the LSQ when the data operand is ready
+		// (criterion 2: PW wires, paper Section 4).
+		dataStart := maxU(src2Ready, dispatchAt+1)
+		dataClass := p.wideClass()
+		switch {
+		case myCfg.Tech.PWStoreData && p.net.PreferB(dataStart):
+			// Symmetric balancing: the PW plane is the congested one right
+			// now, so this store's data rides B instead.
+		case myCfg.Tech.PWStoreData:
+			dataClass = wires.PW
+			p.s.StoreDataPW++
+		case myCfg.Tech.PWLoadBalance && p.net.PreferPW(dataStart):
+			dataClass = wires.PW
+			p.s.BalancePW++
+		}
+		dataArr := p.net.Transfer(me, noc.Cache, dataClass, bitsFull, dataStart)
+		completion = maxU(t.fullKnown, dataArr)
+		lag := t.fullKnown - dispatchAt
+		p.s.SumStoreAddrLag += lag
+		if lag > p.s.MaxStoreAddrLag {
+			p.s.MaxStoreAddrLag = lag
+		}
+		// The store occupies the LSQ until commit; its commit time is
+		// computed below, so the entry is registered after that.
+		p.pendingStore = lsqStore{
+			seq:       seq,
+			addr:      ins.Addr,
+			partialAt: t.partialAt,
+			fullAt:    t.fullKnown,
+			dataAt:    dataArr,
+		}
+		p.havePendingStore = true
+	}
+
+	// ---------------- Commit ----------------
+	commitReq := maxU(completion+1, p.lastCommit)
+	commitAt := p.commitCal.Reserve(commitReq)
+	p.lastCommit = commitAt
+	p.rob[p.robPos] = commitAt
+	p.robPos = (p.robPos + 1) % len(p.rob)
+
+	if p.havePendingStore {
+		p.pendingStore.commitAt = commitAt
+		p.lsq.addStore(p.pendingStore)
+		p.havePendingStore = false
+	}
+
+	if p.Observer != nil {
+		p.Observer(InstrTiming{
+			Seq: seq, PC: ins.PC, Op: ins.Op, Cluster: clusterID,
+			Fetch: fetchAt, Dispatch: dispatchAt, Issue: issueAt,
+			Complete: completion, Commit: commitAt, Mispred: mispredict,
+		})
+	}
+
+	// ---------------- Writeback / rename update ----------------
+	if ins.Dest != trace.NoReg {
+		regs.Commit(commitAt)
+		isNarrow := !ins.Op.IsFP() && narrow.IsNarrow(ins.Value, myCfg.Core.NarrowMaxBits)
+		pred := false
+		if !ins.Op.IsFP() && ins.Op != trace.Store {
+			prePred := p.np.Record(ins.PC, isNarrow)
+			switch {
+			case myCfg.Tech.NarrowOracle:
+				pred = isNarrow
+			case myCfg.Tech.NarrowOperands:
+				pred = prePred
+			}
+		}
+		if myCfg.Tech.FrequentValueEnc && !ins.Op.IsFP() {
+			p.fvt.Observe(ins.Value)
+		}
+		rs := &p.regs[ins.Dest]
+		rs.cluster = clusterID
+		rs.ready = destReady
+		rs.value = ins.Value
+		rs.narrow = isNarrow
+		rs.predNarrow = pred
+		for i := range rs.arrived {
+			rs.arrived[i] = 0
+		}
+	}
+}
+
+// operandReady returns the cycle the source register's value is available
+// in the consuming cluster, inserting a copy transfer on the heterogeneous
+// interconnect when the producer lives elsewhere. Copies are shared: a
+// second consumer in the same cluster reuses the first transfer.
+func (p *Processor) operandReady(src int16, clusterID int, dispatchAt uint64) uint64 {
+	rs := &p.regs[src]
+	if rs.cluster == clusterID {
+		p.s.LocalOperands++
+		return rs.ready
+	}
+	if got := rs.arrived[clusterID]; got != 0 {
+		p.s.LocalOperands++ // already in flight to this cluster; shared copy
+		return got
+	}
+	p.s.OperandTransfers++
+	if rs.narrow {
+		p.s.NarrowEligible++
+	}
+
+	from, to := noc.Cluster(rs.cluster), noc.Cluster(clusterID)
+	start := maxU(rs.ready, dispatchAt+1)
+	t := &p.cfg.Tech
+	var arrive uint64
+	switch {
+	case t.NarrowOperands && rs.predNarrow && rs.narrow:
+		arrive = p.net.Transfer(from, to, wires.L, bitsL, start)
+		p.s.NarrowTransfers++
+	case t.FrequentValueEnc && p.fvt.Contains(rs.value) &&
+		p.net.PeekTransfer(from, to, wires.L, start) <= p.net.PeekTransfer(from, to, p.wideClass(), start):
+		// The value is encodable as a 3-bit frequent-value index plus tag,
+		// and the send buffer sees the L plane delivering no later than the
+		// wide plane (L-wires are shared with the address LS bits, so a
+		// congested L plane must not be flooded with compacted values).
+		arrive = p.net.Transfer(from, to, wires.L, bitsL, start)
+		p.s.FVTransfers++
+	case t.NarrowOperands && rs.predNarrow && !rs.narrow:
+		// Predicted narrow but wide: the L-wire transfer is wasted and the
+		// value is re-sent on B-wires once the width is detected.
+		p.net.Transfer(from, to, wires.L, bitsL, start)
+		arrive = p.net.Transfer(from, to, p.wideClass(), bitsFull, start+1)
+		p.s.NarrowMispredicted++
+	case t.PWReadyOperands && rs.ready <= dispatchAt && !p.net.PreferB(start):
+		arrive = p.net.Transfer(from, to, wires.PW, bitsFull, start)
+		p.s.ReadyOperandPW++
+	case t.PWLoadBalance && p.net.PreferPW(start):
+		arrive = p.net.Transfer(from, to, wires.PW, bitsFull, start)
+		p.s.BalancePW++
+	case p.cfg.Model.Link.Has(wires.B):
+		arrive = p.net.Transfer(from, to, wires.B, bitsFull, start)
+	default:
+		// Homogeneous PW interconnect (e.g. Model II).
+		arrive = p.net.Transfer(from, to, wires.PW, bitsFull, start)
+	}
+	rs.arrived[clusterID] = arrive
+	return arrive
+}
+
+// addrTiming bundles the LSQ arrival results for one memory operation.
+type addrTiming struct {
+	loadTiming
+	partialAt uint64
+	fullKnown uint64
+}
+
+// sendAddress transmits a load/store effective address from the cluster to
+// the centralized LSQ, using the split LS-bits-on-L-wires pipeline when
+// enabled. Loads additionally run memory disambiguation against earlier
+// in-flight stores; stores only need their arrival times recorded.
+func (p *Processor) sendAddress(from noc.Node, seq uint64, addr uint64, addrDone uint64, isLoad bool) addrTiming {
+	t := &p.cfg.Tech
+	if t.LWireCachePipeline {
+		lsArr := p.net.Transfer(from, noc.Cache, wires.L, bitsL, addrDone)
+		msArr := p.net.Transfer(from, noc.Cache, p.wideClass(), bitsMSAddr, addrDone)
+		out := addrTiming{partialAt: lsArr, fullKnown: msArr}
+		if isLoad {
+			out.loadTiming = p.lsq.disambiguatePartial(seq, addr, lsArr, msArr)
+			p.recordLSQ(out.loadTiming)
+		}
+		return out
+	}
+	class := wires.B
+	if !p.cfg.Model.Link.Has(wires.B) {
+		class = wires.PW
+	} else if t.PWLoadBalance && p.net.PreferPW(addrDone) {
+		class = wires.PW
+		p.s.BalancePW++
+	}
+	full := p.net.Transfer(from, noc.Cache, class, bitsFull, addrDone)
+	out := addrTiming{partialAt: full, fullKnown: full}
+	if isLoad {
+		out.loadTiming = p.lsq.disambiguateFull(seq, addr, full)
+	}
+	return out
+}
+
+func (p *Processor) recordLSQ(lt loadTiming) {
+	if lt.partialChecked {
+		p.s.PartialChecks++
+		if lt.falseDep {
+			p.s.PartialFalseDeps++
+		}
+	}
+}
+
+// wideClass returns the wire class used for full-width transfers that have
+// no special steering: B-wires when the interconnect has them, else the
+// homogeneous PW plane (Models II, III, VI).
+func (p *Processor) wideClass() wires.Class {
+	if p.cfg.Model.Link.Has(wires.B) {
+		return wires.B
+	}
+	return wires.PW
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

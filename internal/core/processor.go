@@ -1,0 +1,344 @@
+// Package core implements the paper's evaluation platform: a dynamically
+// scheduled partitioned (clustered) processor with a centralized load/store
+// queue and L1 data cache, connected by the heterogeneous interconnect of
+// internal/noc.
+//
+// The engine is a timestamp+calendar cycle-level model: instructions are
+// processed in program order, and every structural resource — fetch
+// bandwidth, the 64-entry fetch queue, dispatch bandwidth, the 480-entry
+// ROB, per-cluster 15-entry issue queues and 32-entry rename register pools,
+// per-cluster functional units, cache bank ports, and every per-class
+// directional network link — is a cycle calendar or bounded-occupancy pool
+// that grants each event the earliest feasible cycle. This models
+// out-of-order issue, buffered link contention and in-order commit exactly,
+// while staying deterministic. Wrong-path instructions are not simulated
+// (the standard trace-driven approximation); the mispredict penalty,
+// including the network latency of the resolution signal back to the front
+// end, is modeled explicitly.
+package core
+
+import (
+	"hetwire/internal/bpred"
+	"hetwire/internal/cache"
+	"hetwire/internal/config"
+	"hetwire/internal/narrow"
+	"hetwire/internal/noc"
+	"hetwire/internal/sched"
+	"hetwire/internal/trace"
+	"hetwire/internal/wires"
+)
+
+// fuKind indexes the per-cluster functional units.
+type fuKind int
+
+const (
+	fuIntALU fuKind = iota
+	fuIntMul
+	fuFPALU
+	fuFPMul
+	numFUKinds
+)
+
+func fuFor(op trace.Op) fuKind {
+	switch op {
+	case trace.IntMul:
+		return fuIntMul
+	case trace.FPALU:
+		return fuFPALU
+	case trace.FPMul:
+		return fuFPMul
+	default: // int ALU ops, branches, and load/store address generation
+		return fuIntALU
+	}
+}
+
+// regState tracks the current architectural-register mapping: which cluster
+// holds the value, when it is ready there, and whether it is narrow.
+type regState struct {
+	cluster int
+	ready   uint64
+	value   uint64
+	narrow  bool
+	// predNarrow is the narrow predictor's decision made when the producer
+	// was renamed (or the oracle's answer); transfers use it.
+	predNarrow bool
+	// arrived caches per-cluster delivery times of this value so multiple
+	// consumers in one cluster share a single copy transfer.
+	arrived []uint64 // 0 = not transferred yet
+}
+
+// cluster bundles one cluster's resources.
+type cluster struct {
+	intIQ   *sched.Heap // 15 int issue-queue entries
+	fpIQ    *sched.Heap
+	intRegs *sched.Heap // 32 int rename registers
+	fpRegs  *sched.Heap
+	fus     [numFUKinds]*sched.Calendar
+}
+
+// Processor is the simulated machine. Construct with New; drive with Run.
+type Processor struct {
+	cfg config.Config
+	net *noc.Network
+	mem *cache.Hierarchy
+	bp  *bpred.Predictor
+	np  *narrow.Predictor
+	fvt *narrow.FrequentValueTable
+
+	nClusters int
+	clusters  []*cluster
+
+	// Front end.
+	fetchCal    *sched.Calendar // fetch bandwidth: FetchWidth/cycle
+	fetchQ      *sched.Heap     // 64 entries, freed at dispatch
+	dispatchCal *sched.Calendar // DispatchWidth/cycle
+	commitCal   *sched.Calendar // CommitWidth/cycle
+	rob         []uint64        // ring of commit times, ROBSize entries
+	robPos      int
+
+	lastFetch    uint64 // monotone fetch frontier (in-order fetch)
+	lastDispatch uint64
+	lastCommit   uint64
+	redirectAt   uint64 // earliest fetch cycle after a mispredict redirect
+	curFetchLine uint64 // current I-cache line, for fetch-access modelling
+
+	// Basic-block fetch limiting (MaxBlocksFetch blocks per cycle).
+	pendingBlockStart bool
+	blkCycle          uint64
+	blkCount          int
+
+	// Store awaiting its commit time before entering the LSQ books.
+	pendingStore     lsqStore
+	havePendingStore bool
+
+	regs [trace.NumArchRegs]regState
+
+	lsq *lsqState
+
+	steerRR int // round-robin tiebreaker for steering
+
+	// allowed restricts steering to a cluster subset (multiprogrammed
+	// threads); nil means all clusters. all caches the full index list.
+	allowed []int
+	all     []int
+
+	// statsBase is the commit-frontier cycle at the last stats reset;
+	// Cycles reports lastCommit - statsBase.
+	statsBase uint64
+
+	// Observer, when non-nil, receives the resolved timing of every
+	// instruction — the per-stage timeline a hardware pipeline viewer
+	// would show. Used by debugging tools and tests; nil costs nothing.
+	Observer func(InstrTiming)
+
+	// Statistics.
+	s Stats
+}
+
+// InstrTiming is the resolved pipeline timeline of one instruction.
+type InstrTiming struct {
+	Seq      uint64
+	PC       uint64
+	Op       trace.Op
+	Cluster  int
+	Fetch    uint64
+	Dispatch uint64
+	Issue    uint64
+	Complete uint64
+	Commit   uint64
+	Mispred  bool
+}
+
+// Stats aggregates everything the experiments read out of a run.
+type Stats struct {
+	Instructions uint64
+	Cycles       uint64
+
+	Branches       uint64
+	Mispredicts    uint64
+	BTBMisses      uint64
+	Loads          uint64
+	Stores         uint64
+	L1DMissRate    float64
+	L2MissRate     float64
+	TLBMissRate    float64
+	BranchAccuracy float64
+
+	// Inter-cluster operand communication.
+	OperandTransfers   uint64 // producer cluster != consumer cluster
+	LocalOperands      uint64
+	NarrowTransfers    uint64 // operand copies that rode L-wires
+	NarrowMispredicted uint64 // predicted narrow, actually wide (resend)
+	ReadyOperandPW     uint64 // criterion 1 diversions
+	StoreDataPW        uint64 // criterion 2 diversions
+	BalancePW          uint64 // criterion 3 diversions
+	NarrowEligible     uint64 // transfers whose value was actually narrow
+	FVTransfers        uint64 // transfers compacted by the frequent-value table
+	CriticalWordOnL    uint64 // L2/memory loads returned on L-wires
+
+	// LSQ behaviour.
+	PartialFalseDeps uint64 // LS-bit match, full-address mismatch
+	PartialChecks    uint64
+	StoreForwards    uint64
+
+	// Network.
+	Net           [3]noc.ClassStats // B, PW, L
+	WaitCycles    uint64
+	LinkInventory map[wires.Class]float64
+
+	// CalendarClamps counts sliding-window violations across every cycle
+	// calendar in the machine; zero means all timing was exact.
+	CalendarClamps uint64
+
+	// Latency breakdown diagnostics (cycle sums; divide by Instructions).
+	SumDispatchStall uint64 // dispatch beyond fetch+frontDepth (window stalls)
+	SumSrcWait       uint64 // operand wait beyond dispatch+1
+	SumFUWait        uint64 // issue wait beyond operand readiness
+	SumLoadLatency   uint64 // load execDone -> data back in cluster
+	SumLSQWait       uint64 // load address arrival -> disambiguated start
+	SumStoreAddrLag  uint64 // store dispatch -> full address at LSQ
+	MaxStoreAddrLag  uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// New builds a processor for the configuration.
+func New(cfg config.Config) *Processor {
+	if err := cfg.Validate(); err != nil {
+		panic("core: " + err.Error())
+	}
+	c := cfg.Core
+	p := &Processor{
+		cfg:       cfg,
+		net:       noc.New(cfg),
+		nClusters: cfg.Topology.Clusters(),
+		bp: bpred.New(bpred.Config{
+			BimodalSize: c.BimodalSize,
+			L1Size:      c.L1PredSize,
+			HistoryBits: c.HistoryBits,
+			L2Size:      c.L2PredSize,
+			ChooserSize: c.ChooserSize,
+			BTBSets:     c.BTBSets,
+			BTBAssoc:    c.BTBAssoc,
+			RASEntries:  c.RASEntries,
+		}),
+		np:  narrow.NewPredictor(c.NarrowPredSz),
+		fvt: narrow.NewFrequentValueTable(),
+		mem: cache.NewHierarchy(cache.HierarchyConfig{
+			L1I:        cache.Config{SizeBytes: c.L1ISizeKB * 1024, LineBytes: c.LineBytes, Assoc: c.L1IAssoc, Latency: c.L1ILatency},
+			L1D:        cache.Config{SizeBytes: c.L1DSizeKB * 1024, LineBytes: c.LineBytes, Assoc: c.L1DAssoc, Latency: c.L1DLatency, Banks: c.L1DBanks, Ports: c.L1DPorts},
+			L2:         cache.Config{SizeBytes: c.L2SizeMB * 1024 * 1024, LineBytes: c.LineBytes, Assoc: c.L2Assoc, Latency: c.L2Latency},
+			TLBEntries: c.TLBEntries,
+			PageBytes:  c.PageBytes,
+			MemLatency: c.MemLatency,
+		}),
+		fetchCal:    sched.NewCalendar(c.FetchWidth, sched.DefaultWindow),
+		fetchQ:      sched.NewHeap(c.FetchQueueSize),
+		dispatchCal: sched.NewCalendar(c.DispatchWidth, sched.DefaultWindow),
+		commitCal:   sched.NewCalendar(c.CommitWidth, sched.DefaultWindow),
+		rob:         make([]uint64, c.ROBSize),
+		lsq:         newLSQ(cfg),
+	}
+	p.clusters = make([]*cluster, p.nClusters)
+	for i := range p.clusters {
+		cl := &cluster{
+			intIQ:   sched.NewHeap(c.IssueQPerClust),
+			fpIQ:    sched.NewHeap(c.IssueQPerClust),
+			intRegs: sched.NewHeap(c.RegsPerClust),
+			fpRegs:  sched.NewHeap(c.RegsPerClust),
+		}
+		for k := range cl.fus {
+			cl.fus[k] = sched.NewCalendar(1, sched.DefaultWindow)
+		}
+		p.clusters[i] = cl
+	}
+	for r := range p.regs {
+		p.regs[r] = regState{cluster: r % p.nClusters, ready: 0, arrived: make([]uint64, p.nClusters)}
+	}
+	return p
+}
+
+// frontDepth is the number of pipeline stages between fetch and dispatch
+// (decode + rename); together with branch resolution and the network
+// signal latency it realises the "at least 12 cycles" mispredict penalty of
+// Table 1.
+const frontDepth = 9
+
+// Run simulates n instructions from the stream and returns the statistics.
+func (p *Processor) Run(src trace.Stream, n uint64) Stats {
+	var ins trace.Instr
+	for i := uint64(0); i < n; i++ {
+		if !src.Next(&ins) {
+			break
+		}
+		p.step(&ins)
+	}
+	p.finalize()
+	return p.s
+}
+
+// Warmup simulates n instructions and then clears all statistics while
+// keeping the microarchitectural state (caches, predictors, calendars)
+// warm — the paper's methodology of detailed warmup before measurement.
+func (p *Processor) Warmup(src trace.Stream, n uint64) {
+	var ins trace.Instr
+	for i := uint64(0); i < n; i++ {
+		if !src.Next(&ins) {
+			break
+		}
+		p.step(&ins)
+	}
+	p.resetStats()
+}
+
+// resetStats zeroes every statistic without touching machine state. The
+// cycle baseline moves to the current commit frontier so IPC reflects only
+// the measured region.
+func (p *Processor) resetStats() {
+	p.s = Stats{}
+	p.statsBase = p.lastCommit
+	p.net.ResetStats()
+	p.mem.ResetStats()
+	p.bp.ResetStats()
+	p.np.ResetStats()
+	p.fvt.Hits, p.fvt.Lookups = 0, 0
+}
+
+// FrequentValueHitRate exposes the frequent-value table's lookup hit rate.
+func (p *Processor) FrequentValueHitRate() float64 { return p.fvt.HitRate() }
+
+// finalize fills the derived statistics after a run.
+func (p *Processor) finalize() {
+	p.s.Cycles = p.lastCommit - p.statsBase
+	p.s.BranchAccuracy = p.bp.Accuracy()
+	p.s.L1DMissRate = p.mem.L1D.MissRate()
+	p.s.L2MissRate = p.mem.L2.MissRate()
+	p.s.TLBMissRate = p.mem.TLB.MissRate()
+	p.s.BTBMisses = p.bp.BTBMisses
+	for i, c := range []wires.Class{wires.B, wires.PW, wires.L} {
+		p.s.Net[i] = p.net.StatsFor(c)
+	}
+	p.s.WaitCycles = p.net.TotalWaitCycles()
+	p.s.LinkInventory = p.net.LinkInventory()
+	clamps := p.net.CalendarClamps() + p.mem.L1D.CalendarClamps()
+	clamps += p.fetchCal.Clamped + p.dispatchCal.Clamped + p.commitCal.Clamped
+	for _, cl := range p.clusters {
+		for _, fu := range cl.fus {
+			clamps += fu.Clamped
+		}
+	}
+	p.s.CalendarClamps = clamps
+}
+
+// NarrowCoverage exposes the narrow predictor's coverage for the claims
+// experiments.
+func (p *Processor) NarrowCoverage() float64 { return p.np.Coverage() }
+
+// NarrowFalseRate exposes the predictor's false-narrow rate.
+func (p *Processor) NarrowFalseRate() float64 { return p.np.FalseNarrowRate() }

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"hetwire/internal/config"
+	"hetwire/internal/trace"
+)
+
+// steer implements the paper's dynamic instruction steering heuristic
+// (Section 4, after [7, 15, 43]): while dispatching, each cluster is scored
+// by
+//
+//   - whether it produces an input operand of the instruction,
+//   - extra weight if it produces the operand predicted to be on the
+//     critical path (the operand that becomes ready last),
+//   - proximity to the data cache for loads and stores,
+//   - issue-queue occupancy (empty entries attract work; this is the
+//     load-balance term).
+//
+// The instruction goes to the highest-scoring cluster; if that cluster has
+// no free register or issue-queue resources at dispatch time, the nearest
+// cluster with available resources is used instead.
+func (p *Processor) steer(ins *trace.Instr, at uint64) int {
+	switch p.cfg.Steering {
+	case config.SteerStatic:
+		// Compile-time-style partitioning: each static instruction has a
+		// home cluster. Fall back to a neighbour when it is full.
+		cands := p.candidateClusters()
+		home := cands[int((ins.PC>>2)%uint64(len(cands)))]
+		if p.hasResources(home, ins, at) {
+			return home
+		}
+		for d := 1; d < len(cands); d++ {
+			if c := cands[(int(ins.PC>>2)+d)%len(cands)]; p.hasResources(c, ins, at) {
+				return c
+			}
+		}
+		return home
+	case config.SteerRoundRobin:
+		cands := p.candidateClusters()
+		p.steerRR = (p.steerRR + 1) % len(cands)
+		return cands[p.steerRR]
+	}
+
+	cands := p.candidateClusters()
+	weights := make([]int, p.nClusters)
+
+	// Operand-producer weights, with a criticality bonus for the
+	// latest-ready operand.
+	var critCluster = -1
+	var critReady uint64
+	for _, src := range []int16{ins.Src1, ins.Src2} {
+		if src == trace.NoReg {
+			continue
+		}
+		rs := &p.regs[src]
+		weights[rs.cluster] += 3
+		if rs.ready >= critReady {
+			critReady = rs.ready
+			critCluster = rs.cluster
+		}
+	}
+	if critCluster >= 0 && critReady > at {
+		// Only an operand that is not ready yet can be critical.
+		weights[critCluster] += 2
+	}
+
+	// Cache proximity for memory operations: clusters nearer the
+	// centralized cache win. On the 4-cluster crossbar all clusters are
+	// equidistant; on the 16-cluster hierarchy the cache's quad is closer.
+	if ins.Op.IsMem() && p.nClusters > 4 {
+		for _, c := range cands {
+			if c/4 == 0 { // the cache hangs off quad 0
+				weights[c] += 2
+			}
+		}
+	}
+
+	// Issue-queue emptiness (cluster load balance).
+	for _, c := range cands {
+		iq := p.clusters[c].intIQ
+		if ins.Op.IsFP() {
+			iq = p.clusters[c].fpIQ
+		}
+		weights[c] += iq.Free(at) / 4
+	}
+
+	// Pick the highest weight among this thread's clusters; break ties
+	// round-robin so cold streams spread across clusters.
+	best, bestW := -1, -1<<30
+	for i := range cands {
+		c := cands[(p.steerRR+i)%len(cands)]
+		if weights[c] > bestW {
+			best, bestW = c, weights[c]
+		}
+	}
+	p.steerRR = (p.steerRR + 1) % len(cands)
+
+	// Resource fallback: if the chosen cluster has no free issue-queue
+	// entry or rename register right now, move to the nearest cluster that
+	// has both (paper: "the instruction is assigned to the nearest cluster
+	// with available resources"). If nobody has resources, keep the
+	// original choice and let dispatch stall until an entry frees.
+	if p.hasResources(best, ins, at) {
+		return best
+	}
+	pos := 0
+	for i, c := range cands {
+		if c == best {
+			pos = i
+			break
+		}
+	}
+	for d := 1; d < len(cands); d++ {
+		for _, c := range []int{cands[(pos+d)%len(cands)], cands[(pos-d+len(cands))%len(cands)]} {
+			if p.hasResources(c, ins, at) {
+				return c
+			}
+		}
+	}
+	return best
+}
+
+// hasResources reports whether the cluster can accept the instruction at
+// the given cycle without stalling.
+func (p *Processor) hasResources(c int, ins *trace.Instr, at uint64) bool {
+	cl := p.clusters[c]
+	iq, regs := cl.intIQ, cl.intRegs
+	if ins.Op.IsFP() {
+		iq, regs = cl.fpIQ, cl.fpRegs
+	}
+	if iq.Free(at) == 0 {
+		return false
+	}
+	if ins.Dest != trace.NoReg && regs.Free(at) == 0 {
+		return false
+	}
+	return true
+}

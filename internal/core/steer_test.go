@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"hetwire/internal/config"
+	"hetwire/internal/trace"
+)
+
+func newTestProc() *Processor { return New(config.Default()) }
+
+// TestSteerFollowsProducer: an instruction with one unready source goes to
+// the producing cluster (dependence + criticality weights dominate).
+func TestSteerFollowsProducer(t *testing.T) {
+	p := newTestProc()
+	p.regs[5].cluster = 2
+	p.regs[5].ready = 1000 // far in the future: critical operand
+	ins := &trace.Instr{Op: trace.IntALU, Src1: 5, Src2: trace.NoReg, Dest: 1}
+	if got := p.steer(ins, 10); got != 2 {
+		t.Errorf("steered to cluster %d, want producer cluster 2", got)
+	}
+}
+
+// TestSteerCriticalOperandWins: with two unready sources, the one that
+// becomes ready last carries the extra criticality weight.
+func TestSteerCriticalOperandWins(t *testing.T) {
+	p := newTestProc()
+	p.regs[1].cluster = 0
+	p.regs[1].ready = 50
+	p.regs[2].cluster = 3
+	p.regs[2].ready = 500 // the critical one
+	ins := &trace.Instr{Op: trace.IntALU, Src1: 1, Src2: 2, Dest: 3}
+	if got := p.steer(ins, 10); got != 3 {
+		t.Errorf("steered to cluster %d, want critical producer's cluster 3", got)
+	}
+}
+
+// TestSteerSpreadsIndependentWork: instructions with no register sources
+// distribute across clusters (round-robin + emptiness) rather than piling
+// onto one.
+func TestSteerSpreadsIndependentWork(t *testing.T) {
+	p := newTestProc()
+	seen := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		ins := &trace.Instr{Op: trace.IntALU, Src1: trace.NoReg, Src2: trace.NoReg, Dest: int16(i % 28)}
+		c := p.steer(ins, 10)
+		seen[c] = true
+		// Occupy the chosen cluster's queue a little so emptiness shifts.
+		p.clusters[c].intIQ.Commit(1000)
+	}
+	if len(seen) < 3 {
+		t.Errorf("independent work used only %d clusters", len(seen))
+	}
+}
+
+// TestSteerAvoidsFullCluster: when the preferred cluster has no free
+// issue-queue entries now, the instruction goes to a neighbour with room.
+func TestSteerAvoidsFullCluster(t *testing.T) {
+	p := newTestProc()
+	p.regs[7].cluster = 1
+	p.regs[7].ready = 1000
+	// Fill cluster 1's integer issue queue beyond cycle 10.
+	for i := 0; i < p.cfg.Core.IssueQPerClust; i++ {
+		p.clusters[1].intIQ.Commit(5000)
+	}
+	ins := &trace.Instr{Op: trace.IntALU, Src1: 7, Src2: trace.NoReg, Dest: 1}
+	if got := p.steer(ins, 10); got == 1 {
+		t.Error("steered into a cluster with a full issue queue")
+	}
+}
+
+// TestSteerCacheProximity16Clusters: on the hierarchical machine, memory
+// operations with no strong dependence pull gravitate to the cache's quad.
+func TestSteerCacheProximity16Clusters(t *testing.T) {
+	cfg := config.Default()
+	cfg.Topology = config.HierRing16
+	p := New(cfg)
+	hits := 0
+	const trials = 32
+	for i := 0; i < trials; i++ {
+		ins := &trace.Instr{Op: trace.Load, Src1: trace.NoReg, Src2: trace.NoReg, Dest: int16(i % 28)}
+		if c := p.steer(ins, 10); c/4 == 0 {
+			hits++
+		}
+	}
+	if hits < trials/2 {
+		t.Errorf("only %d/%d loads steered to the cache quad", hits, trials)
+	}
+}
+
+// TestSteerFPUsesFPQueues: fp instructions are judged against fp issue
+// queues; a full int queue must not repel them.
+func TestSteerFPUsesFPQueues(t *testing.T) {
+	p := newTestProc()
+	p.regs[40].cluster = 2
+	p.regs[40].ready = 1000
+	for i := 0; i < p.cfg.Core.IssueQPerClust; i++ {
+		p.clusters[2].intIQ.Commit(5000) // int queue full, fp queue empty
+	}
+	ins := &trace.Instr{Op: trace.FPALU, Src1: 40, Src2: trace.NoReg, Dest: 41}
+	if got := p.steer(ins, 10); got != 2 {
+		t.Errorf("fp instruction repelled by a full int queue: cluster %d", got)
+	}
+}
+
+// TestSteeringPolicies: the paper's dynamic heuristic must beat static
+// hashing, which must beat blind round-robin (communication grows in that
+// order).
+func TestSteeringPolicies(t *testing.T) {
+	run := func(pol config.SteeringPolicy) Stats {
+		cfg := config.Default()
+		cfg.Steering = pol
+		return runBench(t, cfg, "gzip", testInstrs)
+	}
+	dyn := run(config.SteerDynamic)
+	static := run(config.SteerStatic)
+	rr := run(config.SteerRoundRobin)
+
+	if dyn.IPC() <= static.IPC() {
+		t.Errorf("dynamic steering (%.3f) should beat static hashing (%.3f)", dyn.IPC(), static.IPC())
+	}
+	if static.OperandTransfers <= dyn.OperandTransfers {
+		t.Errorf("static steering should communicate more (%d vs %d)",
+			static.OperandTransfers, dyn.OperandTransfers)
+	}
+	if rr.OperandTransfers <= dyn.OperandTransfers {
+		t.Errorf("round-robin should communicate most (%d vs %d)",
+			rr.OperandTransfers, dyn.OperandTransfers)
+	}
+}

@@ -1,0 +1,251 @@
+// Package stats provides the lightweight counters, histograms, and summary
+// helpers shared by the simulator and the experiment harness.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter is a named monotonically increasing count.
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.Value += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Value++ }
+
+// Set is an ordered collection of named counters. The zero value is ready to
+// use. Lookup is by name; iteration order is insertion order so reports are
+// stable.
+type Set struct {
+	order []string
+	byKey map[string]*Counter
+}
+
+// Get returns the counter with the given name, creating it if necessary.
+func (s *Set) Get(name string) *Counter {
+	if s.byKey == nil {
+		s.byKey = make(map[string]*Counter)
+	}
+	if c, ok := s.byKey[name]; ok {
+		return c
+	}
+	c := &Counter{Name: name}
+	s.byKey[name] = c
+	s.order = append(s.order, name)
+	return c
+}
+
+// Value returns the current value of the named counter (0 if absent).
+func (s *Set) Value(name string) uint64 {
+	if s.byKey == nil {
+		return 0
+	}
+	if c, ok := s.byKey[name]; ok {
+		return c.Value
+	}
+	return 0
+}
+
+// Names returns the counter names in insertion order.
+func (s *Set) Names() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// String renders the set as "name=value" lines sorted by insertion order.
+func (s *Set) String() string {
+	var b strings.Builder
+	for _, name := range s.order {
+		fmt.Fprintf(&b, "%s=%d\n", name, s.byKey[name].Value)
+	}
+	return b.String()
+}
+
+// Histogram buckets integer samples. Buckets are fixed-width starting at 0;
+// samples beyond the last bucket land in an overflow bucket.
+type Histogram struct {
+	Width   uint64
+	Buckets []uint64
+	Over    uint64
+	Count   uint64
+	Sum     uint64
+	MaxSeen uint64
+}
+
+// NewHistogram creates a histogram with n buckets of the given width.
+func NewHistogram(n int, width uint64) *Histogram {
+	if n <= 0 || width == 0 {
+		panic("stats: histogram needs positive bucket count and width")
+	}
+	return &Histogram{Width: width, Buckets: make([]uint64, n)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.Count++
+	h.Sum += v
+	if v > h.MaxSeen {
+		h.MaxSeen = v
+	}
+	idx := v / h.Width
+	if idx >= uint64(len(h.Buckets)) {
+		h.Over++
+		return
+	}
+	h.Buckets[idx]++
+}
+
+// Mean returns the mean of the observed samples (0 if none).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns an approximate q-quantile (q in [0,1]) using bucket lower
+// bounds; overflow samples report the max seen.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.Count))
+	var cum uint64
+	for i, b := range h.Buckets {
+		cum += b
+		if cum > target {
+			return uint64(i) * h.Width
+		}
+	}
+	return h.MaxSeen
+}
+
+// ArithmeticMean averages a slice of float64 values. The paper reports the
+// arithmetic mean of IPCs, which "represents a workload where every program
+// executes for an equal number of cycles" [John 2004].
+func ArithmeticMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeometricMean returns the geometric mean of strictly positive values.
+func GeometricMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		prod *= x
+	}
+	// nth root via repeated sqrt would be lossy; use log-free Newton steps.
+	return nthRoot(prod, len(xs))
+}
+
+func nthRoot(x float64, n int) float64 {
+	if x <= 0 || n <= 0 {
+		return 0
+	}
+	// Newton iteration on f(r) = r^n - x.
+	r := x
+	if r > 1 {
+		r = 1 + (x-1)/float64(n) // reasonable start
+	}
+	for i := 0; i < 128; i++ {
+		rn := 1.0
+		for j := 0; j < n-1; j++ {
+			rn *= r
+		}
+		next := ((float64(n)-1)*r + x/rn) / float64(n)
+		if diff := next - r; diff < 1e-12 && diff > -1e-12 {
+			return next
+		}
+		r = next
+	}
+	return r
+}
+
+// Table formats aligned columns for terminal reports.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given header columns.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells are printed with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with space-padded columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// SortedKeys returns the sorted keys of a string-keyed map; handy for stable
+// report iteration.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

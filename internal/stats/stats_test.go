@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterSet(t *testing.T) {
+	var s Set
+	s.Get("a").Inc()
+	s.Get("a").Add(4)
+	s.Get("b").Add(2)
+	if s.Value("a") != 5 || s.Value("b") != 2 || s.Value("missing") != 0 {
+		t.Fatalf("values wrong: %s", s.String())
+	}
+	if names := s.Names(); len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("insertion order lost: %v", names)
+	}
+	if !strings.Contains(s.String(), "a=5") {
+		t.Errorf("render missing counter: %q", s.String())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 5)
+	for _, v := range []uint64{0, 3, 7, 12, 100} {
+		h.Observe(v)
+	}
+	if h.Count != 5 {
+		t.Fatalf("count = %d", h.Count)
+	}
+	if h.Buckets[0] != 2 || h.Buckets[1] != 1 || h.Buckets[2] != 1 {
+		t.Errorf("bucketing wrong: %v", h.Buckets)
+	}
+	if h.Over != 1 {
+		t.Errorf("overflow = %d, want 1", h.Over)
+	}
+	if h.MaxSeen != 100 {
+		t.Errorf("max = %d", h.MaxSeen)
+	}
+	if m := h.Mean(); math.Abs(m-24.4) > 1e-9 {
+		t.Errorf("mean = %f", m)
+	}
+	if q := h.Quantile(0.5); q > 10 {
+		t.Errorf("median estimate %d too high", q)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram(4, 2)
+	if h.Quantile(0.9) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestArithmeticMean(t *testing.T) {
+	if am := ArithmeticMean([]float64{1, 2, 3}); am != 2 {
+		t.Errorf("AM = %f", am)
+	}
+	if ArithmeticMean(nil) != 0 {
+		t.Error("empty AM should be 0")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	if gm := GeometricMean([]float64{1, 4}); math.Abs(gm-2) > 1e-9 {
+		t.Errorf("GM = %f, want 2", gm)
+	}
+	if GeometricMean([]float64{1, 0}) != 0 {
+		t.Error("GM with zero should be 0")
+	}
+	if GeometricMean(nil) != 0 {
+		t.Error("empty GM should be 0")
+	}
+}
+
+// TestGeometricMeanProperty: GM of identical values is the value.
+func TestGeometricMeanProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		v := 0.1 + float64(raw)/100
+		gm := GeometricMean([]float64{v, v, v})
+		return math.Abs(gm-v) < 1e-6*v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.AddRow("alpha", 1.5)
+	tab.AddRow("b", 12)
+	out := tab.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.500") || !strings.Contains(out, "12") {
+		t.Errorf("table render wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, two rows
+		t.Errorf("table has %d lines, want 4", len(lines))
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"c": 1, "a": 2, "b": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("sorted keys = %v", got)
+	}
+}
+
+func TestHistogramPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-width histogram accepted")
+		}
+	}()
+	NewHistogram(4, 0)
+}

@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// File format: a fixed 16-byte header (magic, version, instruction count)
+// followed by fixed-width little-endian records. The format is
+// deliberately trivial so traces can be produced by other tools (e.g. a
+// Pin/DynamoRIO front end) without linking this package.
+const (
+	fileMagic   = 0x48455457 // "HETW"
+	fileVersion = 1
+	recordBytes = 41
+)
+
+// WriteTrace drains up to n instructions from the stream into w. It
+// returns the number of instructions written (fewer than n if the stream
+// ends first).
+func WriteTrace(w io.Writer, src Stream, n uint64) (uint64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], fileMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], fileVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], n)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	var rec [recordBytes]byte
+	var ins Instr
+	var written uint64
+	for written < n && src.Next(&ins) {
+		encodeRecord(&rec, &ins)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return written, err
+		}
+		written++
+	}
+	return written, bw.Flush()
+}
+
+// WriteTraceFile writes a trace to the named file, fixing up the header's
+// count to the instructions actually written.
+func WriteTraceFile(path string, src Stream, n uint64) (uint64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	written, werr := WriteTrace(f, src, n)
+	if werr == nil && written != n {
+		// Rewrite the count field for a short stream.
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], written)
+		if _, err := f.WriteAt(buf[:], 8); err != nil {
+			werr = err
+		}
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return written, werr
+}
+
+func encodeRecord(rec *[recordBytes]byte, ins *Instr) {
+	binary.LittleEndian.PutUint64(rec[0:], ins.PC)
+	rec[8] = byte(ins.Op)
+	flags := byte(0)
+	if ins.Taken {
+		flags = 1
+	}
+	rec[9] = flags
+	binary.LittleEndian.PutUint16(rec[10:], uint16(ins.Src1))
+	binary.LittleEndian.PutUint16(rec[12:], uint16(ins.Src2))
+	binary.LittleEndian.PutUint16(rec[14:], uint16(ins.Dest))
+	rec[16] = 0 // reserved
+	binary.LittleEndian.PutUint64(rec[17:], ins.Addr)
+	binary.LittleEndian.PutUint64(rec[25:], ins.Target)
+	binary.LittleEndian.PutUint64(rec[33:], ins.Value)
+}
+
+func decodeRecord(rec *[recordBytes]byte, ins *Instr) {
+	ins.PC = binary.LittleEndian.Uint64(rec[0:])
+	ins.Op = Op(rec[8])
+	ins.Taken = rec[9]&1 != 0
+	ins.Src1 = int16(binary.LittleEndian.Uint16(rec[10:]))
+	ins.Src2 = int16(binary.LittleEndian.Uint16(rec[12:]))
+	ins.Dest = int16(binary.LittleEndian.Uint16(rec[14:]))
+	ins.Addr = binary.LittleEndian.Uint64(rec[17:])
+	ins.Target = binary.LittleEndian.Uint64(rec[25:])
+	ins.Value = binary.LittleEndian.Uint64(rec[33:])
+}
+
+// FileStream streams instructions from a trace file. It implements Stream
+// and io.Closer.
+type FileStream struct {
+	f         *os.File
+	r         *bufio.Reader
+	remaining uint64
+	err       error
+}
+
+// OpenTraceFile opens a trace written by WriteTraceFile.
+func OpenTraceFile(path string) (*FileStream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r := bufio.NewReaderSize(f, 1<<16)
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != fileMagic {
+		f.Close()
+		return nil, fmt.Errorf("trace: %s is not a hetwire trace file", path)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != fileVersion {
+		f.Close()
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	return &FileStream{
+		f:         f,
+		r:         r,
+		remaining: binary.LittleEndian.Uint64(hdr[8:]),
+	}, nil
+}
+
+// Count returns the number of instructions left to read.
+func (fs *FileStream) Count() uint64 { return fs.remaining }
+
+// Err returns the first read error encountered (nil on clean EOF).
+func (fs *FileStream) Err() error { return fs.err }
+
+// Next implements Stream.
+func (fs *FileStream) Next(ins *Instr) bool {
+	if fs.remaining == 0 || fs.err != nil {
+		return false
+	}
+	var rec [recordBytes]byte
+	if _, err := io.ReadFull(fs.r, rec[:]); err != nil {
+		if err != io.EOF {
+			fs.err = err
+		}
+		fs.remaining = 0
+		return false
+	}
+	decodeRecord(&rec, ins)
+	fs.remaining--
+	return true
+}
+
+// Close releases the underlying file.
+func (fs *FileStream) Close() error { return fs.f.Close() }

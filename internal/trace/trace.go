@@ -1,0 +1,125 @@
+// Package trace defines the dynamic instruction stream consumed by the
+// timing model: the instruction record, operation kinds, and stream
+// interfaces. Streams are produced by the synthetic workload generators in
+// internal/workload (standing in for the paper's SPEC2000/SimPoint traces)
+// or by slice-backed readers in tests.
+package trace
+
+// Op is the operation class of an instruction; it determines the functional
+// unit used and the execution latency.
+type Op uint8
+
+const (
+	// IntALU is a single-cycle integer operation.
+	IntALU Op = iota
+	// IntMul is a multi-cycle integer multiply/divide.
+	IntMul
+	// FPALU is a pipelined floating-point add/compare.
+	FPALU
+	// FPMul is a multi-cycle floating-point multiply/divide.
+	FPMul
+	// Load reads memory: address generation + cache access.
+	Load
+	// Store writes memory: address generation + store queue.
+	Store
+	// Branch is a conditional branch.
+	Branch
+	numOps
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case IntALU:
+		return "int"
+	case IntMul:
+		return "imul"
+	case FPALU:
+		return "fp"
+	case FPMul:
+		return "fmul"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Branch:
+		return "branch"
+	}
+	return "?"
+}
+
+// IsFP reports whether the op executes on the floating-point cluster
+// resources.
+func (o Op) IsFP() bool { return o == FPALU || o == FPMul }
+
+// IsMem reports whether the op accesses the data memory hierarchy.
+func (o Op) IsMem() bool { return o == Load || o == Store }
+
+// Latency returns the execution latency in cycles on its functional unit.
+func (o Op) Latency() int {
+	switch o {
+	case IntALU, Branch:
+		return 1
+	case IntMul:
+		return 7
+	case FPALU:
+		return 4
+	case FPMul:
+		return 12
+	case Load, Store:
+		return 1 // address generation; memory time is modeled separately
+	}
+	return 1
+}
+
+// NoReg marks an absent register operand.
+const NoReg int16 = -1
+
+// NumArchRegs is the architectural register count (32 int + 32 fp, Alpha
+// style). Registers 0-31 are integer, 32-63 floating point.
+const NumArchRegs = 64
+
+// Instr is one dynamic instruction.
+type Instr struct {
+	PC   uint64
+	Op   Op
+	Src1 int16 // architectural register or NoReg
+	Src2 int16
+	Dest int16
+
+	// Memory operations.
+	Addr uint64
+
+	// Branches.
+	Taken  bool
+	Target uint64
+
+	// Produced value, used for narrow-operand detection. For loads this is
+	// the loaded value.
+	Value uint64
+}
+
+// Stream produces dynamic instructions. Next fills *ins and returns false
+// when the stream is exhausted (synthetic generators never exhaust).
+type Stream interface {
+	Next(ins *Instr) bool
+}
+
+// SliceStream replays a fixed instruction sequence; primarily for tests.
+type SliceStream struct {
+	Instrs []Instr
+	pos    int
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next(ins *Instr) bool {
+	if s.pos >= len(s.Instrs) {
+		return false
+	}
+	*ins = s.Instrs[s.pos]
+	s.pos++
+	return true
+}
+
+// Reset rewinds the stream.
+func (s *SliceStream) Reset() { s.pos = 0 }

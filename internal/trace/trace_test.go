@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"os"
+	"testing"
+)
+
+func TestOpClassification(t *testing.T) {
+	cases := []struct {
+		op    Op
+		isFP  bool
+		isMem bool
+	}{
+		{IntALU, false, false},
+		{IntMul, false, false},
+		{FPALU, true, false},
+		{FPMul, true, false},
+		{Load, false, true},
+		{Store, false, true},
+		{Branch, false, false},
+	}
+	for _, c := range cases {
+		if c.op.IsFP() != c.isFP {
+			t.Errorf("%v.IsFP() = %v", c.op, c.op.IsFP())
+		}
+		if c.op.IsMem() != c.isMem {
+			t.Errorf("%v.IsMem() = %v", c.op, c.op.IsMem())
+		}
+		if c.op.String() == "?" {
+			t.Errorf("%d has no name", c.op)
+		}
+		if c.op.Latency() < 1 {
+			t.Errorf("%v latency %d < 1", c.op, c.op.Latency())
+		}
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	// Multi-cycle units must actually be multi-cycle, and multiplies slower
+	// than adds.
+	if IntMul.Latency() <= IntALU.Latency() {
+		t.Error("integer multiply should outlast the ALU op")
+	}
+	if FPMul.Latency() <= FPALU.Latency() {
+		t.Error("fp multiply should outlast the fp add")
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	s := &SliceStream{Instrs: []Instr{
+		{PC: 4, Op: IntALU},
+		{PC: 8, Op: Load},
+	}}
+	var ins Instr
+	if !s.Next(&ins) || ins.PC != 4 {
+		t.Fatalf("first = %+v", ins)
+	}
+	if !s.Next(&ins) || ins.PC != 8 {
+		t.Fatalf("second = %+v", ins)
+	}
+	if s.Next(&ins) {
+		t.Fatal("stream should be exhausted")
+	}
+	s.Reset()
+	if !s.Next(&ins) || ins.PC != 4 {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestUnknownOpString(t *testing.T) {
+	if Op(99).String() != "?" {
+		t.Error("unknown op should render as ?")
+	}
+}
+
+func sampleInstrs(n int) []Instr {
+	out := make([]Instr, n)
+	for i := range out {
+		out[i] = Instr{
+			PC: uint64(0x1000 + i*4), Op: Op(i % 7),
+			Src1: int16(i % 32), Src2: NoReg, Dest: int16((i + 1) % 32),
+			Addr: uint64(i) * 8, Taken: i%3 == 0, Target: uint64(0x2000 + i),
+			Value: uint64(i * 17),
+		}
+	}
+	return out
+}
+
+// TestTraceFileRoundTrip: write N instructions to disk, read them back
+// bit-identically.
+func TestTraceFileRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/trace.hwt"
+	orig := sampleInstrs(1000)
+	n, err := WriteTraceFile(path, &SliceStream{Instrs: orig}, 1000)
+	if err != nil || n != 1000 {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+	fs, err := OpenTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if fs.Count() != 1000 {
+		t.Fatalf("count = %d", fs.Count())
+	}
+	var ins Instr
+	for i := 0; fs.Next(&ins); i++ {
+		if ins != orig[i] {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, ins, orig[i])
+		}
+	}
+	if fs.Err() != nil {
+		t.Fatal(fs.Err())
+	}
+	if fs.Count() != 0 {
+		t.Fatal("records left over")
+	}
+}
+
+// TestTraceFileShortStream: the header count is fixed up when the stream
+// ends early.
+func TestTraceFileShortStream(t *testing.T) {
+	path := t.TempDir() + "/short.hwt"
+	n, err := WriteTraceFile(path, &SliceStream{Instrs: sampleInstrs(10)}, 100)
+	if err != nil || n != 10 {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+	fs, err := OpenTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if fs.Count() != 10 {
+		t.Fatalf("count = %d, want 10", fs.Count())
+	}
+	var ins Instr
+	read := 0
+	for fs.Next(&ins) {
+		read++
+	}
+	if read != 10 || fs.Err() != nil {
+		t.Fatalf("read %d, err %v", read, fs.Err())
+	}
+}
+
+// TestOpenTraceFileRejectsGarbage: wrong magic is detected.
+func TestOpenTraceFileRejectsGarbage(t *testing.T) {
+	path := t.TempDir() + "/junk.bin"
+	if err := os.WriteFile(path, []byte("this is not a trace, honestly"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenTraceFile(path); err == nil {
+		t.Fatal("garbage accepted as a trace")
+	}
+	if _, err := OpenTraceFile(t.TempDir() + "/missing"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

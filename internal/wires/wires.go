@@ -1,0 +1,482 @@
+// Package wires models on-chip global interconnect at the circuit level:
+// distributed-RC wires with repeater insertion, and transmission lines.
+//
+// It implements the analytic models the paper builds on:
+//
+//   - wire resistance and capacitance per unit length as functions of the
+//     wire geometry (paper equations (1) and (2), after Ho/Mai/Horowitz),
+//   - repeated-wire delay with explicit repeater size and spacing (Bakoglu),
+//     whose delay-optimal configuration is proportional to sqrt(RC),
+//   - power-optimal repeater scaling (after Banerjee & Mehrotra): smaller,
+//     sparser repeaters trade delay for large energy savings,
+//   - LC transmission lines whose delay approaches the speed of light in the
+//     dielectric.
+//
+// On top of the physics it defines the paper's four wire classes (W, PW, B,
+// L) and derives the relative delay/energy figures of paper Table 2 from
+// geometry rather than hard-coding them.
+package wires
+
+import (
+	"fmt"
+	"math"
+)
+
+// Class identifies one of the paper's wire implementations.
+type Class uint8
+
+const (
+	// W wires are the bandwidth reference: minimum width and spacing with
+	// delay-optimal repeaters.
+	W Class = iota
+	// PW wires combine minimum width/spacing with small, sparse repeaters:
+	// high bandwidth, low power, high delay ("P-Wires" + "W-Wires" merged,
+	// as in the paper).
+	PW
+	// B wires are the baseline 72-bit interconnect: twice the metal area of
+	// a W wire (extra spacing), delay-optimised.
+	B
+	// L wires are latency-optimal: 8x the width and spacing of W wires (or
+	// transmission lines), very low bandwidth.
+	L
+	numClasses
+)
+
+// Classes lists all wire classes in declaration order.
+func Classes() []Class { return []Class{W, PW, B, L} }
+
+// String returns the paper's name for the class.
+func (c Class) String() string {
+	switch c {
+	case W:
+		return "W-Wire"
+	case PW:
+		return "PW-Wire"
+	case B:
+		return "B-Wire"
+	case L:
+		return "L-Wire"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Technology collects the process parameters needed by the wire models.
+// Distances are in nanometres, resistivity in ohm*nm, capacitances in fF.
+type Technology struct {
+	Node int // nominal feature size in nm, e.g. 45
+
+	// Material / dielectric parameters for equations (1) and (2).
+	Rho          float64 // resistivity of copper, ohm*nm
+	Barrier      float64 // diffusion-barrier thickness, nm
+	EpsHoriz     float64 // relative dielectric, horizontal (same-layer) caps
+	EpsVert      float64 // relative dielectric, vertical (inter-layer) caps
+	MillerK      float64 // Miller-effect coupling factor K
+	FringePerMM  float64 // constant fringing capacitance, fF/mm
+	LayerSpacing float64 // gap between adjacent metal layers, nm
+
+	// Minimum global-layer geometry (the W-wire geometry).
+	MinWidth   float64 // nm
+	MinSpacing float64 // nm
+	Thickness  float64 // nm
+
+	// Repeater (inverter) device parameters, for a minimum-sized inverter.
+	RepRd float64 // output resistance, ohm
+	RepCd float64 // input+output capacitance, fF
+	// RepEnergyMult folds short-circuit and internal switching energy into
+	// the repeater capacitive energy; >1 because optimally sized global
+	// repeaters (hundreds of times minimum size) burn substantial crowbar
+	// current.
+	RepEnergyMult float64
+	// RepLeakPerSize is repeater leakage power per unit of repeater size,
+	// in arbitrary leakage units (the simulator only uses ratios).
+	RepLeakPerSize float64
+	// WireLeakPerCap models bitline/driver leakage attributable to the wire
+	// itself, proportional to wire capacitance.
+	WireLeakPerCap float64
+
+	Vdd float64 // supply voltage, V
+
+	// RelPermittivityTL is the effective dielectric constant seen by a
+	// transmission-line signal (sets the propagation velocity).
+	RelPermittivityTL float64
+}
+
+// Tech45 returns the 45nm technology point used throughout the paper's
+// evaluation. The device constants are calibrated (see wires_test.go) so
+// that the derived class parameters reproduce paper Table 2: relative
+// delays 1.0 / 1.2 / 0.8 / 0.3 for W / PW / B / L, relative leakage
+// 1.00 / 0.30 / 0.55 / 0.79, and relative dynamic energy for the
+// delay-optimal classes (B 0.58, L 0.84).
+//
+// The one published value pure CV^2 physics cannot reach is the PW dynamic
+// energy of 0.30: Banerjee & Mehrotra's 70% saving counts short-circuit and
+// leakage energy re-optimised jointly, data this model does not have. The
+// capacitive model derives ~0.48 for PW; the simulator therefore uses the
+// published Table2 constants (below) for energy accounting, and the test
+// suite documents this one deviation explicitly.
+func Tech45() Technology {
+	return Technology{
+		Node:              45,
+		Rho:               22, // ohm*nm; copper + size effects at 45nm
+		Barrier:           5,
+		EpsHoriz:          2.7,
+		EpsVert:           2.7,
+		MillerK:           1.5,
+		FringePerMM:       80, // fF/mm
+		LayerSpacing:      500,
+		MinWidth:          135, // global-layer minimum width
+		MinSpacing:        135,
+		Thickness:         270,
+		RepRd:             12000, // ohm, minimum inverter
+		RepCd:             0.06,  // fF, minimum inverter
+		RepEnergyMult:     3.4,
+		RepLeakPerSize:    1.0,
+		WireLeakPerCap:    0.01,
+		Vdd:               1.0,
+		RelPermittivityTL: 3.0,
+	}
+}
+
+// Geometry is the physical cross-section of one signal wire.
+type Geometry struct {
+	Width   float64 // nm
+	Spacing float64 // nm, gap to each neighbour on the same layer
+}
+
+// Pitch returns the per-wire pitch (width + spacing) in nm: the metal area
+// cost of the wire, and hence the inverse of achievable wire density.
+func (g Geometry) Pitch() float64 { return g.Width + g.Spacing }
+
+// Repeaters describes a repeater insertion policy relative to the
+// delay-optimal configuration for the same wire.
+type Repeaters struct {
+	// SizeFactor scales repeater size relative to the delay-optimal size
+	// (1.0 = delay-optimal; <1 = smaller repeaters, less energy, more delay).
+	SizeFactor float64
+	// SpacingFactor scales the distance between successive repeaters
+	// relative to delay-optimal (>1 = sparser repeaters).
+	SpacingFactor float64
+}
+
+// DelayOptimal is the repeater policy that minimises wire delay.
+var DelayOptimal = Repeaters{SizeFactor: 1, SpacingFactor: 1}
+
+// PowerOptimal is the Banerjee-Mehrotra-style policy used for PW wires:
+// repeaters at roughly half the optimal size and nearly double the optimal
+// spacing, giving a ~20% delay penalty for ~70% interconnect energy savings
+// at 45nm (paper Section 5.2).
+var PowerOptimal = Repeaters{SizeFactor: 0.52, SpacingFactor: 1.9}
+
+// Wire is a complete wire design: geometry plus repeater policy (or a
+// transmission line) in a given technology.
+type Wire struct {
+	Tech             Technology
+	Geom             Geometry
+	Rep              Repeaters
+	TransmissionLine bool
+}
+
+// ResistancePerMM implements paper equation (1):
+//
+//	R = rho / ((thickness - barrier) * (width - 2*barrier))
+//
+// returning ohm/mm.
+func (w Wire) ResistancePerMM() float64 {
+	t := w.Tech
+	eff := (t.Thickness - t.Barrier) * (w.Geom.Width - 2*t.Barrier)
+	if eff <= 0 {
+		panic("wires: geometry smaller than barrier layers")
+	}
+	// rho[ohm*nm] / area[nm^2] = ohm/nm; * 1e6 nm/mm.
+	return t.Rho / eff * 1e6
+}
+
+// CapacitancePerMM implements paper equation (2): two horizontal coupling
+// capacitors (with Miller factor K), two vertical parallel-plate capacitors,
+// and a constant fringe term. Returns fF/mm.
+func (w Wire) CapacitancePerMM() float64 {
+	t := w.Tech
+	const eps0 = 8.854e-3 // fF per mm per unit relative permittivity, for ratio of dims
+	horiz := 2 * t.MillerK * t.EpsHoriz * (t.Thickness / w.Geom.Spacing)
+	vert := 2 * t.EpsVert * (w.Geom.Width / t.LayerSpacing)
+	return eps0*(horiz+vert)*1e3 + t.FringePerMM
+}
+
+// optimalRepeaters returns the delay-optimal repeater size (in multiples of
+// a minimum inverter) and spacing (mm) for this wire's RC, from the standard
+// Bakoglu analysis:
+//
+//	size*   = sqrt(Rd*C / (R*Cd))
+//	spacing = sqrt(0.69*Rd*Cd / (0.38*R*C))
+func (w Wire) optimalRepeaters() (size, spacingMM float64) {
+	r := w.ResistancePerMM()
+	c := w.CapacitancePerMM()
+	t := w.Tech
+	size = math.Sqrt(t.RepRd * c / (r * t.RepCd))
+	spacingMM = math.Sqrt(0.69 * t.RepRd * t.RepCd / (0.38 * r * c))
+	return size, spacingMM
+}
+
+// repeaterConfig returns the actual repeater size and spacing after applying
+// the wire's policy factors.
+func (w Wire) repeaterConfig() (size, spacingMM float64) {
+	size, spacingMM = w.optimalRepeaters()
+	sf, lf := w.Rep.SizeFactor, w.Rep.SpacingFactor
+	if sf == 0 {
+		sf = 1
+	}
+	if lf == 0 {
+		lf = 1
+	}
+	return size * sf, spacingMM * lf
+}
+
+// DelayPerMM returns the signal propagation delay in ps/mm.
+//
+// For repeated RC wires it evaluates the segmented Elmore delay
+//
+//	t/len = 0.69*Rd*Cd/l + 0.69*Rd*C/s + 0.38*R*C*l + 0.69*R*Cd*s
+//
+// with s the repeater size and l the repeater spacing. For transmission
+// lines the delay is length / (c0/sqrt(eps_r)).
+func (w Wire) DelayPerMM() float64 {
+	if w.TransmissionLine {
+		const c0 = 0.2998 // mm/ps, speed of light
+		v := c0 / math.Sqrt(w.Tech.RelPermittivityTL)
+		return 1 / v
+	}
+	r := w.ResistancePerMM()         // ohm/mm
+	c := w.CapacitancePerMM() * 1e-3 // pF/mm so ohm*pF = ps
+	t := w.Tech
+	rd := t.RepRd
+	cd := t.RepCd * 1e-3 // pF
+	s, l := w.repeaterConfig()
+	return 0.69*rd*cd/l + 0.69*rd*c/s + 0.38*r*c*l + 0.69*r*cd*s
+}
+
+// DynamicEnergyPerMM returns the switching energy per transition per mm, in
+// fJ/mm (CV^2 units): wire capacitance plus repeater capacitance inflated by
+// the short-circuit/internal-energy multiplier. Transmission lines dissipate
+// in the termination; Chang et al. report roughly a 3x energy reduction
+// versus repeated wires of the same width, which emerges here from the
+// absence of repeaters (the line itself has low C due to large spacing).
+func (w Wire) DynamicEnergyPerMM() float64 {
+	t := w.Tech
+	v2 := t.Vdd * t.Vdd
+	cWire := w.CapacitancePerMM()
+	if w.TransmissionLine {
+		// Termination + driver energy, no repeaters. Model as wire C only.
+		return cWire * v2
+	}
+	s, l := w.repeaterConfig()
+	repCapPerMM := s * t.RepCd / l
+	return (cWire + t.RepEnergyMult*repCapPerMM) * v2
+}
+
+// LeakagePowerPerMM returns static power per mm in arbitrary units
+// (repeater subthreshold leakage proportional to total repeater width, plus
+// a wire-proportional term).
+func (w Wire) LeakagePowerPerMM() float64 {
+	t := w.Tech
+	wireTerm := t.WireLeakPerCap * w.CapacitancePerMM()
+	if w.TransmissionLine {
+		return wireTerm
+	}
+	s, l := w.repeaterConfig()
+	return t.RepLeakPerSize*s/l + wireTerm
+}
+
+// NewW returns the bandwidth-reference wire: minimum width and spacing,
+// delay-optimal repeaters.
+func NewW(t Technology) Wire {
+	return Wire{Tech: t, Geom: Geometry{Width: t.MinWidth, Spacing: t.MinSpacing}, Rep: DelayOptimal}
+}
+
+// NewPW returns the power+bandwidth wire: W geometry with power-optimal
+// repeaters.
+func NewPW(t Technology) Wire {
+	w := NewW(t)
+	w.Rep = PowerOptimal
+	return w
+}
+
+// NewB returns the baseline wire: twice the metal area of a W/PW wire,
+// achieved by keeping minimum width and doubling the pitch with extra
+// spacing (paper Section 5.2), with delay-optimal repeaters.
+func NewB(t Technology) Wire {
+	return Wire{
+		Tech: t,
+		Geom: Geometry{Width: t.MinWidth, Spacing: t.MinWidth + 2*t.MinSpacing},
+		Rep:  DelayOptimal,
+	}
+}
+
+// NewL returns the latency-optimal RC wire: 8x the width and spacing of a W
+// wire, delay-optimal repeaters. (Use NewTransmissionLine for the LC
+// alternative.)
+func NewL(t Technology) Wire {
+	return Wire{
+		Tech: t,
+		Geom: Geometry{Width: 8 * t.MinWidth, Spacing: 8 * t.MinSpacing},
+		Rep:  DelayOptimal,
+	}
+}
+
+// NewTransmissionLine returns an L-class wire implemented as an on-chip
+// transmission line with the same (large) geometry as an RC L wire.
+func NewTransmissionLine(t Technology) Wire {
+	w := NewL(t)
+	w.TransmissionLine = true
+	return w
+}
+
+// ForClass returns the canonical wire design for a class.
+func ForClass(t Technology, c Class) Wire {
+	switch c {
+	case W:
+		return NewW(t)
+	case PW:
+		return NewPW(t)
+	case B:
+		return NewB(t)
+	case L:
+		return NewL(t)
+	}
+	panic(fmt.Sprintf("wires: unknown class %v", c))
+}
+
+// Params summarises a wire class the way paper Table 2 does, normalised to
+// the W wire of the same technology.
+type Params struct {
+	Class          Class
+	RelDelay       float64 // delay per mm relative to W
+	RelDynPerWire  float64 // dynamic energy per transition per wire, rel. W
+	RelLeakPerWire float64 // leakage power per wire, rel. W
+	RelPitch       float64 // metal area per wire relative to W
+	DelayPSPerMM   float64
+	DynFJPerMM     float64
+}
+
+// DeriveParams computes Table-2-style relative parameters for all classes
+// from the physical models.
+func DeriveParams(t Technology) map[Class]Params {
+	ref := NewW(t)
+	refDelay := ref.DelayPerMM()
+	refDyn := ref.DynamicEnergyPerMM()
+	refLeak := ref.LeakagePowerPerMM()
+	refPitch := ref.Geom.Pitch()
+	out := make(map[Class]Params, numClasses)
+	for _, c := range Classes() {
+		w := ForClass(t, c)
+		out[c] = Params{
+			Class:          c,
+			RelDelay:       w.DelayPerMM() / refDelay,
+			RelDynPerWire:  w.DynamicEnergyPerMM() / refDyn,
+			RelLeakPerWire: w.LeakagePowerPerMM() / refLeak,
+			RelPitch:       w.Geom.Pitch() / refPitch,
+			DelayPSPerMM:   w.DelayPerMM(),
+			DynFJPerMM:     w.DynamicEnergyPerMM(),
+		}
+	}
+	return out
+}
+
+// Table2 are the paper's published relative wire parameters (paper Table 2),
+// used by the simulator's energy accounting and checked in tests against
+// DeriveParams. Keeping the published values as the simulation constants
+// makes experiment outputs directly comparable with the paper even if the
+// physical calibration drifts slightly.
+var Table2 = map[Class]Params{
+	W:  {Class: W, RelDelay: 1.0, RelDynPerWire: 1.00, RelLeakPerWire: 1.00, RelPitch: 1.0},
+	PW: {Class: PW, RelDelay: 1.2, RelDynPerWire: 0.30, RelLeakPerWire: 0.30, RelPitch: 1.0},
+	B:  {Class: B, RelDelay: 0.8, RelDynPerWire: 0.58, RelLeakPerWire: 0.55, RelPitch: 2.0},
+	L:  {Class: L, RelDelay: 0.3, RelDynPerWire: 0.84, RelLeakPerWire: 0.79, RelPitch: 8.0},
+}
+
+// CrossbarLatency returns the paper's inter-cluster crossbar latency in
+// cycles for each class (Table 2): PW=3, B=2, L=1.
+func CrossbarLatency(c Class) int {
+	switch c {
+	case PW:
+		return 3
+	case B:
+		return 2
+	case L:
+		return 1
+	case W:
+		return 3 // W wires are a reference design; treat like PW latency-wise
+	}
+	panic("wires: unknown class")
+}
+
+// RingHopLatency returns the paper's per-hop ring latency in cycles for the
+// 16-cluster hierarchical interconnect (Table 2): PW=6, B=4, L=2.
+func RingHopLatency(c Class) int {
+	switch c {
+	case PW:
+		return 6
+	case B:
+		return 4
+	case L:
+		return 2
+	case W:
+		return 6
+	}
+	panic("wires: unknown class")
+}
+
+// LatencyCycles converts a physical wire delay over a link of the given
+// length into pipelined cycles at the given clock, rounding up. All
+// transfers are fully pipelined (paper Section 5.2), so this is the
+// source-to-sink latency; bandwidth is set by wire count.
+func LatencyCycles(w Wire, linkMM, clockGHz float64) int {
+	delayPS := w.DelayPerMM() * linkMM
+	periodPS := 1e3 / clockGHz
+	n := int(math.Ceil(delayPS / periodPS))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Tech65 returns a 65nm technology point: earlier node, relatively less
+// resistive wires — the "today" end of the paper's scaling argument.
+func Tech65() Technology {
+	t := Tech45()
+	t.Node = 65
+	t.Rho = 19 // weaker size effects in wider wires
+	t.MinWidth = 195
+	t.MinSpacing = 195
+	t.Thickness = 390
+	t.LayerSpacing = 720
+	t.RepRd = 9000
+	t.RepCd = 0.09
+	return t
+}
+
+// Tech32 returns a 32nm technology point: thinner, more resistive global
+// wires while gates keep getting faster — the wire-constrained future the
+// paper's Section 5.3 sensitivity study anticipates.
+func Tech32() Technology {
+	t := Tech45()
+	t.Node = 32
+	t.Rho = 28 // surface/grain-boundary scattering dominates
+	t.MinWidth = 95
+	t.MinSpacing = 95
+	t.Thickness = 190
+	t.LayerSpacing = 360
+	t.RepRd = 16000
+	t.RepCd = 0.042
+	return t
+}
+
+// NodeLatencies derives the per-class crossbar latency in cycles for a
+// link of the given length at the given clock, from the physical wire
+// models — the analogue of Table 2's cycle counts, recomputed per node.
+func NodeLatencies(t Technology, linkMM, clockGHz float64) map[Class]int {
+	out := make(map[Class]int, numClasses)
+	for _, c := range Classes() {
+		out[c] = LatencyCycles(ForClass(t, c), linkMM, clockGHz)
+	}
+	return out
+}

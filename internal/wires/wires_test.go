@@ -1,0 +1,275 @@
+package wires
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.4f, want %.4f (±%.3f)", name, got, want, tol)
+	}
+}
+
+// TestDeriveTable2Delays checks that the physical model reproduces the
+// paper's Table 2 relative delays from geometry alone.
+func TestDeriveTable2Delays(t *testing.T) {
+	p := DeriveParams(Tech45())
+	approx(t, "W relDelay", p[W].RelDelay, 1.0, 1e-9)
+	approx(t, "PW relDelay", p[PW].RelDelay, 1.2, 0.05)
+	approx(t, "B relDelay", p[B].RelDelay, 0.8, 0.05)
+	approx(t, "L relDelay", p[L].RelDelay, 0.3, 0.05)
+}
+
+// TestDeriveTable2Energy checks the derivable energy ratios. The PW dynamic
+// value is the documented exception: the published 0.30 comes from Banerjee
+// & Mehrotra's joint optimisation including short-circuit energy; the pure
+// capacitive model here yields ~0.48. We assert the derived value to pin the
+// deviation down, and assert that the simulator's published constants match
+// the paper exactly.
+func TestDeriveTable2Energy(t *testing.T) {
+	p := DeriveParams(Tech45())
+	approx(t, "B relDyn", p[B].RelDynPerWire, 0.58, 0.06)
+	approx(t, "L relDyn", p[L].RelDynPerWire, 0.84, 0.06)
+	approx(t, "PW relLkg", p[PW].RelLeakPerWire, 0.30, 0.05)
+	approx(t, "B relLkg", p[B].RelLeakPerWire, 0.55, 0.08)
+	approx(t, "L relLkg", p[L].RelLeakPerWire, 0.79, 0.08)
+	// The documented deviation: capacitive-only PW dynamic energy.
+	approx(t, "PW relDyn (capacitive model)", p[PW].RelDynPerWire, 0.48, 0.05)
+}
+
+// TestPublishedTable2 pins the constants the simulator actually uses to the
+// paper's published Table 2.
+func TestPublishedTable2(t *testing.T) {
+	want := map[Class][3]float64{ // delay, dyn, lkg
+		W:  {1.0, 1.00, 1.00},
+		PW: {1.2, 0.30, 0.30},
+		B:  {0.8, 0.58, 0.55},
+		L:  {0.3, 0.84, 0.79},
+	}
+	for c, w := range want {
+		p := Table2[c]
+		if p.RelDelay != w[0] || p.RelDynPerWire != w[1] || p.RelLeakPerWire != w[2] {
+			t.Errorf("%v: published params %v/%v/%v, want %v", c, p.RelDelay, p.RelDynPerWire, p.RelLeakPerWire, w)
+		}
+	}
+}
+
+func TestCrossbarAndRingLatencies(t *testing.T) {
+	// Paper Table 2: crossbar 3/2/1 cycles for PW/B/L, ring hop 6/4/2.
+	if CrossbarLatency(PW) != 3 || CrossbarLatency(B) != 2 || CrossbarLatency(L) != 1 {
+		t.Fatalf("crossbar latencies: got %d/%d/%d, want 3/2/1",
+			CrossbarLatency(PW), CrossbarLatency(B), CrossbarLatency(L))
+	}
+	if RingHopLatency(PW) != 6 || RingHopLatency(B) != 4 || RingHopLatency(L) != 2 {
+		t.Fatalf("ring latencies: got %d/%d/%d, want 6/4/2",
+			RingHopLatency(PW), RingHopLatency(B), RingHopLatency(L))
+	}
+}
+
+// TestResistanceEquation spot-checks equation (1): doubling the width
+// should roughly halve resistance (exactly, after removing the barrier).
+func TestResistanceEquation(t *testing.T) {
+	tech := Tech45()
+	w1 := Wire{Tech: tech, Geom: Geometry{Width: 135, Spacing: 135}}
+	w2 := Wire{Tech: tech, Geom: Geometry{Width: 270 - 2*tech.Barrier + 2*tech.Barrier, Spacing: 135}}
+	r1 := w1.ResistancePerMM()
+	// width' such that (width'-2b) = 2*(135-2b): width' = 270-2b = 260
+	w2.Geom.Width = 2*(135-2*tech.Barrier) + 2*tech.Barrier
+	r2 := w2.ResistancePerMM()
+	approx(t, "R ratio", r1/r2, 2.0, 1e-9)
+}
+
+// TestCapacitanceEquation checks equation (2): increasing spacing strictly
+// decreases capacitance; increasing width strictly increases the vertical
+// component.
+func TestCapacitanceEquation(t *testing.T) {
+	tech := Tech45()
+	base := Wire{Tech: tech, Geom: Geometry{Width: 135, Spacing: 135}}
+	wide := Wire{Tech: tech, Geom: Geometry{Width: 270, Spacing: 135}}
+	sparse := Wire{Tech: tech, Geom: Geometry{Width: 135, Spacing: 270}}
+	if !(sparse.CapacitancePerMM() < base.CapacitancePerMM()) {
+		t.Error("increasing spacing must decrease capacitance")
+	}
+	if !(wide.CapacitancePerMM() > base.CapacitancePerMM()) {
+		t.Error("increasing width must increase capacitance (vertical term)")
+	}
+}
+
+// TestDelayOptimalIsOptimal verifies the analytic optimum: perturbing
+// repeater size or spacing in either direction never reduces delay.
+func TestDelayOptimalIsOptimal(t *testing.T) {
+	tech := Tech45()
+	base := NewW(tech)
+	d0 := base.DelayPerMM()
+	for _, sf := range []float64{0.8, 0.9, 1.1, 1.25} {
+		w := base
+		w.Rep = Repeaters{SizeFactor: sf, SpacingFactor: 1}
+		if w.DelayPerMM() < d0-1e-12 {
+			t.Errorf("size factor %.2f beat the analytic optimum", sf)
+		}
+		w.Rep = Repeaters{SizeFactor: 1, SpacingFactor: sf}
+		if w.DelayPerMM() < d0-1e-12 {
+			t.Errorf("spacing factor %.2f beat the analytic optimum", sf)
+		}
+	}
+}
+
+// TestPowerOptimalTradeoff: the PW repeater policy must cost delay and save
+// both dynamic and leakage energy relative to the delay-optimal W wire.
+func TestPowerOptimalTradeoff(t *testing.T) {
+	tech := Tech45()
+	w := NewW(tech)
+	pw := NewPW(tech)
+	if !(pw.DelayPerMM() > w.DelayPerMM()) {
+		t.Error("PW must be slower than W")
+	}
+	if !(pw.DynamicEnergyPerMM() < w.DynamicEnergyPerMM()) {
+		t.Error("PW must burn less dynamic energy than W")
+	}
+	if !(pw.LeakagePowerPerMM() < w.LeakagePowerPerMM()) {
+		t.Error("PW must leak less than W")
+	}
+}
+
+// TestTransmissionLineFasterThanRC: paper Section 2 — transmission lines
+// beat same-geometry RC wires (Chang et al. report >= 4/3 at 180nm, more at
+// finer nodes).
+func TestTransmissionLineFasterThanRC(t *testing.T) {
+	tech := Tech45()
+	rc := NewL(tech)
+	tl := NewTransmissionLine(tech)
+	ratio := rc.DelayPerMM() / tl.DelayPerMM()
+	if ratio < 4.0/3.0 {
+		t.Errorf("transmission line speedup %.2fx, want >= 1.33x", ratio)
+	}
+	if !(tl.DynamicEnergyPerMM() < rc.DynamicEnergyPerMM()) {
+		t.Error("transmission line should dissipate less than the repeated RC wire")
+	}
+}
+
+// TestPitchBandwidthTradeoff: the L wire's 8x geometry must cost 8x pitch —
+// the bandwidth trade the whole paper revolves around (18 L-wires == 72
+// B-wires == 144 PW/W-wires of metal area, paper Section 3).
+func TestPitchBandwidthTradeoff(t *testing.T) {
+	tech := Tech45()
+	wPitch := NewW(tech).Geom.Pitch()
+	approx(t, "B pitch", NewB(tech).Geom.Pitch()/wPitch, 2.0, 1e-9)
+	approx(t, "L pitch", NewL(tech).Geom.Pitch()/wPitch, 8.0, 1e-9)
+	// Equal-area wire counts: area of 72 B-wires holds 144 W/PW and 18 L.
+	area := 72 * NewB(tech).Geom.Pitch()
+	if n := int(area / NewPW(tech).Geom.Pitch()); n != 144 {
+		t.Errorf("PW wires per 72-B-wire area = %d, want 144", n)
+	}
+	if n := int(area / NewL(tech).Geom.Pitch()); n != 18 {
+		t.Errorf("L wires per 72-B-wire area = %d, want 18", n)
+	}
+}
+
+// TestLatencyCyclesMonotone: property — latency in cycles is monotone in
+// link length and never below one cycle.
+func TestLatencyCyclesMonotone(t *testing.T) {
+	tech := Tech45()
+	w := NewB(tech)
+	f := func(rawLen uint16) bool {
+		l1 := 0.1 + float64(rawLen%200)/10 // 0.1 .. 20 mm
+		l2 := l1 + 1.0
+		c1 := LatencyCycles(w, l1, 3.0)
+		c2 := LatencyCycles(w, l2, 3.0)
+		return c1 >= 1 && c2 >= c1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDelayQuadraticWithoutRepeaters: with repeaters the delay per mm is
+// constant (linear total); the paper's motivation is that unrepeated wire
+// delay grows quadratically. Check the RC product behaviour: per-mm delay of
+// the repeated wire is independent of length by construction, and the raw
+// RC time constant grows linearly per mm (so quadratically in total).
+func TestDelayQuadraticWithoutRepeaters(t *testing.T) {
+	tech := Tech45()
+	w := NewW(tech)
+	rc := w.ResistancePerMM() * w.CapacitancePerMM() // per-mm^2 coefficient
+	if rc <= 0 {
+		t.Fatal("RC must be positive")
+	}
+	// 10mm unrepeated delay / 1mm unrepeated delay should be 100x (0.38*R*C*L^2).
+	d1 := 0.38 * rc * 1 * 1
+	d10 := 0.38 * rc * 10 * 10
+	approx(t, "quadratic growth", d10/d1, 100, 1e-9)
+}
+
+// TestClassStringAndForClass covers the enum helpers.
+func TestClassStringAndForClass(t *testing.T) {
+	names := map[Class]string{W: "W-Wire", PW: "PW-Wire", B: "B-Wire", L: "L-Wire"}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("Class(%d).String() = %q, want %q", c, c.String(), want)
+		}
+		_ = ForClass(Tech45(), c) // must not panic
+	}
+	if len(Classes()) != 4 {
+		t.Errorf("Classes() returned %d classes, want 4", len(Classes()))
+	}
+}
+
+// TestWiderWiresAreFaster: property over a range of width multipliers —
+// delay decreases monotonically as wires get wider+sparser (the Section 2
+// "wire width and spacing" argument).
+func TestWiderWiresAreFaster(t *testing.T) {
+	tech := Tech45()
+	prev := math.Inf(1)
+	for _, mult := range []float64{1, 2, 4, 8} {
+		w := Wire{
+			Tech: tech,
+			Geom: Geometry{Width: mult * tech.MinWidth, Spacing: mult * tech.MinSpacing},
+			Rep:  DelayOptimal,
+		}
+		d := w.DelayPerMM()
+		if d >= prev {
+			t.Errorf("delay did not decrease at width multiplier %.0f (%.3f >= %.3f)", mult, d, prev)
+		}
+		prev = d
+	}
+}
+
+// TestFutureNodesAreMoreWireConstrained: at a fixed link length and clock,
+// cycle latencies grow from 65nm to 45nm to 32nm (gates speed up, global
+// wires do not), and the absolute gap between B and L wires widens — the
+// premise of the paper's wire-constrained sensitivity study.
+func TestFutureNodesAreMoreWireConstrained(t *testing.T) {
+	const linkMM = 7.5
+	clockFor := map[int]float64{65: 2.0, 45: 3.0, 32: 4.5} // gates keep scaling
+	var prevB int
+	var prevGap int
+	for _, tech := range []Technology{Tech65(), Tech45(), Tech32()} {
+		lat := NodeLatencies(tech, linkMM, clockFor[tech.Node])
+		if lat[B] < prevB {
+			t.Errorf("%dnm: B latency %d fell below the earlier node's %d", tech.Node, lat[B], prevB)
+		}
+		gap := lat[B] - lat[L]
+		if gap < prevGap {
+			t.Errorf("%dnm: B-L latency gap %d narrowed from %d", tech.Node, gap, prevGap)
+		}
+		if lat[L] > lat[B] || lat[B] > lat[PW] {
+			t.Errorf("%dnm: class ordering broken: %v", tech.Node, lat)
+		}
+		prevB, prevGap = lat[B], gap
+	}
+}
+
+// TestAllNodesPreserveClassOrdering: the derived relative delays keep
+// L < B < W < PW at every node.
+func TestAllNodesPreserveClassOrdering(t *testing.T) {
+	for _, tech := range []Technology{Tech65(), Tech45(), Tech32()} {
+		p := DeriveParams(tech)
+		if !(p[L].RelDelay < p[B].RelDelay && p[B].RelDelay < p[W].RelDelay && p[W].RelDelay < p[PW].RelDelay) {
+			t.Errorf("%dnm: relative delays out of order: L=%.2f B=%.2f W=%.2f PW=%.2f",
+				tech.Node, p[L].RelDelay, p[B].RelDelay, p[W].RelDelay, p[PW].RelDelay)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package xrand provides small, fast, deterministic pseudo-random number
+// generators used to synthesise workloads. Simulation results must be exactly
+// reproducible across runs and platforms, so we avoid math/rand's global
+// state and any seeding from the environment.
+package xrand
+
+import "math"
+
+// Source is a splitmix64-seeded xoshiro256** generator. The zero value is not
+// usable; construct with New.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source deterministically seeded from seed using splitmix64,
+// as recommended by the xoshiro authors.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		src.s[i] = z ^ (z >> 31)
+	}
+	return &src
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next value in the sequence.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniformly distributed uint64 in [0, n). It panics if n == 0.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with zero n")
+	}
+	return s.Uint64() % n
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	return s.Float64() < p
+}
+
+// Geometric returns a sample from a geometric distribution with success
+// probability p, i.e. the number of failures before the first success
+// (support {0, 1, 2, ...}, mean (1-p)/p). p must be in (0, 1].
+func (s *Source) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("xrand: Geometric needs p in (0,1]")
+	}
+	n := 0
+	for !s.Bool(p) {
+		n++
+		if n >= 1<<20 { // safety valve; statistically unreachable for sane p
+			break
+		}
+	}
+	return n
+}
+
+// Zipf returns a sample in [0, n) following an approximate Zipf distribution
+// with exponent theta, via inverse-CDF on a precomputed table-free rejection
+// scheme. For the small n used by workload generators a direct CDF walk is
+// accurate and fast enough.
+type Zipf struct {
+	cdf []float64
+	src *Source
+}
+
+// NewZipf builds a Zipf sampler over [0, n) with exponent theta > 0.
+func NewZipf(src *Source, n int, theta float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1.0 / pow(float64(i+1), theta)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, src: src}
+}
+
+// Next returns the next Zipf-distributed sample.
+func (z *Zipf) Next() int {
+	u := z.src.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func pow(base, exp float64) float64 { return math.Pow(base, exp) }

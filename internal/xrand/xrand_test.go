@@ -1,0 +1,129 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed sequences diverged at %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collided %d/1000 times", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	src := New(1)
+	f := func(raw uint16) bool {
+		n := int(raw%1000) + 1
+		v := src.Intn(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	src := New(2)
+	for i := 0; i < 10000; i++ {
+		v := src.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %f out of [0,1)", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	src := New(3)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if src.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %.3f", got)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	src := New(4)
+	sum := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += src.Geometric(0.5)
+	}
+	mean := float64(sum) / n // expected (1-p)/p = 1
+	if math.Abs(mean-1) > 0.05 {
+		t.Errorf("Geometric(0.5) mean = %.3f, want ~1", mean)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	src := New(5)
+	z := NewZipf(src, 100, 1.1)
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf sample %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must dominate rank 50 heavily under theta=1.1.
+	if counts[0] < 10*counts[50] {
+		t.Errorf("Zipf not skewed: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	// All mass accounted for.
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != n {
+		t.Errorf("lost samples: %d", total)
+	}
+}
+
+func TestUint64n(t *testing.T) {
+	src := New(6)
+	for i := 0; i < 1000; i++ {
+		if v := src.Uint64n(7); v >= 7 {
+			t.Fatalf("Uint64n(7) = %d", v)
+		}
+	}
+}
+
+func TestPanicsOnBadArgs(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	src := New(7)
+	mustPanic("Intn(0)", func() { src.Intn(0) })
+	mustPanic("Uint64n(0)", func() { src.Uint64n(0) })
+	mustPanic("Geometric(0)", func() { src.Geometric(0) })
+	mustPanic("NewZipf(0)", func() { NewZipf(src, 0, 1) })
+}
