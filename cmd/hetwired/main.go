@@ -1,0 +1,90 @@
+// Command hetwired serves the hetwire simulator over HTTP: a bounded
+// worker pool executes run and sweep jobs from a FIFO queue, deterministic
+// results are cached content-addressed, and /metrics exposes Prometheus
+// gauges for the queue, pool, and cache.
+//
+//	hetwired -addr :8677 -workers 8 -cache-mb 128
+//
+// Submit work:
+//
+//	curl -s localhost:8677/v1/run -d '{"benchmark":"gcc","model":"VII","n":100000}'
+//	curl -s localhost:8677/v1/jobs -d '{"sweep":{"models":["I","VII"],"benchmarks":["gzip","mcf"],"ns":[100000]}}'
+//
+// SIGTERM or SIGINT drains gracefully: intake stops, queued jobs finish
+// (up to -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hetwire/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8677", "listen address (host:port; port 0 picks a free port)")
+		workers    = flag.Int("workers", 4, "simulation worker-pool size")
+		queueDepth = flag.Int("queue", 64, "job queue depth (submissions beyond it get 503)")
+		cacheMB    = flag.Int64("cache-mb", 64, "result-cache budget in MiB")
+		drainT     = flag.Duration("drain-timeout", 30*time.Second, "how long to let jobs finish on SIGTERM")
+		quiet      = flag.Bool("quiet", false, "suppress per-request logging")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "hetwired ", log.LstdFlags|log.Lmicroseconds)
+	reqLogger := logger
+	if *quiet {
+		reqLogger = nil
+	}
+	srv := server.New(server.Options{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		CacheBytes: *cacheMB << 20,
+		Logger:     reqLogger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen %s: %v", *addr, err)
+	}
+	// The "listening on" line is the startup handshake: scripts (and the
+	// integration tests) parse it to learn the bound port when -addr used
+	// port 0.
+	fmt.Printf("hetwired: listening on %s (workers=%d queue=%d cache=%dMiB)\n",
+		ln.Addr(), *workers, *queueDepth, *cacheMB)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		logger.Printf("received %v, draining (timeout %s)", sig, *drainT)
+	case err := <-errCh:
+		logger.Fatalf("serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	cs := srv.Cache().Stats()
+	logger.Printf("drained: cache served %d hits, %d coalesced, %d misses (ratio %.2f)",
+		cs.Hits, cs.Coalesced, cs.Misses, cs.HitRatio())
+	fmt.Println("hetwired: drained, exiting")
+}

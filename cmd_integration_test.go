@@ -1,9 +1,16 @@
 package hetwire_test
 
 import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
+	"os"
 	"os/exec"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // runCmd executes one of the repository's commands via `go run` and returns
@@ -87,5 +94,115 @@ func TestCLIPipeview(t *testing.T) {
 	out := runCmd(t, "./cmd/pipeview", "-bench", "gzip", "-skip", "2000", "-count", "8")
 	if !strings.Contains(out, "timeline") || !strings.Contains(out, "F") {
 		t.Fatalf("pipeview output:\n%s", out)
+	}
+}
+
+// TestCLIHetwiredServes: the daemon starts on a random port, serves a run,
+// serves the identical request again from the result cache with a
+// byte-identical body, exposes the hit on /metrics, and drains cleanly on
+// SIGTERM.
+func TestCLIHetwiredServes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	dir := t.TempDir()
+	bin := dir + "/hetwired"
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/hetwired").CombinedOutput(); err != nil {
+		t.Fatalf("building hetwired: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2", "-quiet")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	exited := false
+	defer func() {
+		if !exited {
+			cmd.Process.Kill()
+			<-done
+		}
+	}()
+
+	// The first stdout line announces the bound address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatal("no startup line from hetwired")
+	}
+	line := sc.Text()
+	var rest string
+	go func() {
+		for sc.Scan() {
+			rest += sc.Text() + "\n"
+		}
+		done <- cmd.Wait()
+	}()
+	const marker = "listening on "
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("startup line %q missing %q", line, marker)
+	}
+	addr := strings.Fields(line[i+len(marker):])[0]
+	base := "http://" + addr
+
+	post := func() (string, []byte) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/run", "application/json",
+			strings.NewReader(`{"benchmark":"gzip","model":"VII","n":20000}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /v1/run: %d %s", resp.StatusCode, body)
+		}
+		return resp.Header.Get("X-Hetwired-Cache"), body
+	}
+	cache1, body1 := post()
+	cache2, body2 := post()
+	if cache1 != "miss" || cache2 != "hit" {
+		t.Errorf("cache headers = %q then %q, want miss then hit", cache1, cache2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Error("second response body differs from the first")
+	}
+	if !strings.Contains(string(body1), `"ipc"`) {
+		t.Errorf("response missing ipc: %s", body1)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "hetwired_cache_hits_total 1") {
+		t.Errorf("metrics missing the cache hit:\n%.400s", metrics)
+	}
+
+	// SIGTERM must drain gracefully, not abort.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		exited = true
+		if err != nil {
+			t.Errorf("hetwired exited with %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("hetwired did not exit after SIGTERM")
+	}
+	if !strings.Contains(rest, "drained, exiting") {
+		t.Errorf("missing drain farewell in output:\n%s", rest)
 	}
 }

@@ -42,9 +42,20 @@ func LoadConfigFile(path string) (Config, error) {
 	if err != nil {
 		return Config{}, err
 	}
+	cfg, err := ConfigFromJSON(raw)
+	if err != nil {
+		return Config{}, fmt.Errorf("hetwire: %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// ConfigFromJSON decodes a machine configuration from the JSON document
+// shape used by config files and the hetwired serving API. Unset fields
+// keep the paper's defaults.
+func ConfigFromJSON(raw []byte) (Config, error) {
 	var cf configFile
 	if err := json.Unmarshal(raw, &cf); err != nil {
-		return Config{}, fmt.Errorf("hetwire: parsing %s: %w", path, err)
+		return Config{}, fmt.Errorf("hetwire: parsing config: %w", err)
 	}
 
 	id, ok := modelByName[cf.Model]
@@ -82,7 +93,7 @@ func LoadConfigFile(path string) (Config, error) {
 		}
 	}
 	if err := cfg.Validate(); err != nil {
-		return Config{}, fmt.Errorf("hetwire: %s: %w", path, err)
+		return Config{}, err
 	}
 	return cfg, nil
 }
@@ -140,6 +151,22 @@ func setCoreOverride(c *config.Core, name string, v int) error {
 // SaveConfigFile writes the sweep-relevant parts of a configuration to a
 // JSON file that LoadConfigFile round-trips.
 func SaveConfigFile(path string, cfg Config) error {
+	raw, err := ConfigJSON(cfg)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// ConfigJSON encodes the sweep-relevant parts of a configuration as a
+// canonical JSON document: fixed field order, sorted technique keys, and no
+// dependence on how the Config was built. ConfigFromJSON round-trips it,
+// and ConfigHash hashes it, so byte-equality of ConfigJSON output is the
+// serving cache's notion of "same machine".
+func ConfigJSON(cfg Config) ([]byte, error) {
+	if cfg.Model.ID < ModelI || cfg.Model.ID > ModelX {
+		return nil, fmt.Errorf("hetwire: config with custom link %v has no canonical JSON form (only named models I..X)", cfg.Model.Link)
+	}
 	cf := configFile{
 		Model:             cfg.Model.ID.String()[len("Model-"):],
 		Clusters:          cfg.Topology.Clusters(),
@@ -160,9 +187,5 @@ func SaveConfigFile(path string, cfg Config) error {
 			"transmission_line_l": cfg.Tech.TransmissionLineL,
 		},
 	}
-	raw, err := json.MarshalIndent(cf, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(raw, '\n'), 0o644)
+	return json.MarshalIndent(cf, "", "  ")
 }

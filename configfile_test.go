@@ -1,0 +1,143 @@
+package hetwire_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"hetwire"
+	"hetwire/internal/wires"
+	"hetwire/internal/xrand"
+)
+
+// randomConfig draws one configuration from the space a config file can
+// express: a named model, cluster count, latency scale, steering policy,
+// link organisation, LS-bit width, and a random subset of the model's
+// supported techniques switched off (plus supported extensions switched
+// on). Knobs outside this space — custom links, core overrides — are
+// excluded because SaveConfigFile does not persist them.
+func randomConfig(src *xrand.Source) hetwire.Config {
+	models := []hetwire.ModelID{
+		hetwire.ModelI, hetwire.ModelII, hetwire.ModelIII, hetwire.ModelIV,
+		hetwire.ModelV, hetwire.ModelVI, hetwire.ModelVII, hetwire.ModelVIII,
+		hetwire.ModelIX, hetwire.ModelX,
+	}
+	cfg := hetwire.DefaultConfig().WithModel(models[src.Intn(len(models))])
+	if src.Bool(0.5) {
+		cfg.Topology = hetwire.HierRing16
+	}
+	cfg.LatencyScale = 1 + src.Intn(3)
+	switch src.Intn(3) {
+	case 0:
+		cfg.Steering = hetwire.SteerDynamic
+	case 1:
+		cfg.Steering = hetwire.SteerStatic
+	case 2:
+		cfg.Steering = hetwire.SteerRoundRobin
+	}
+	hasB := cfg.Model.Link.Has(wires.B)
+	hasPW := cfg.Model.Link.Has(wires.PW)
+	hasL := cfg.Model.Link.Has(wires.L)
+	cfg.LinkHeterogeneous = hasB && hasPW && src.Bool(0.3)
+
+	// Randomly disable supported techniques; never enable unsupported ones
+	// (Validate would reject the config before it ever hit a file).
+	t := &cfg.Tech
+	maybeOff := func(b *bool) {
+		if *b && src.Bool(0.4) {
+			*b = false
+		}
+	}
+	maybeOff(&t.LWireCachePipeline)
+	maybeOff(&t.NarrowOperands)
+	maybeOff(&t.MispredictOnL)
+	maybeOff(&t.PWReadyOperands)
+	maybeOff(&t.PWStoreData)
+	maybeOff(&t.PWLoadBalance)
+	if t.NarrowOperands && src.Bool(0.3) {
+		t.NarrowOracle = true
+	}
+	if hasL {
+		t.FrequentValueEnc = src.Bool(0.3)
+		t.CriticalWordOnL = src.Bool(0.3)
+		t.TransmissionLineL = src.Bool(0.3)
+	}
+	if t.LWireCachePipeline {
+		t.LSBits = 4 + src.Intn(13) // [4,16]
+	}
+	return cfg
+}
+
+// TestConfigFileRoundTripProperty: for any expressible configuration,
+// load(save(cfg)) == cfg, a second save is byte-identical (the canonical
+// form is a fixpoint), and ConfigHash agrees across the round trip. The
+// server's result cache keys on this serialization, so drift here would
+// silently split or alias cache entries.
+func TestConfigFileRoundTripProperty(t *testing.T) {
+	dir := t.TempDir()
+	src := xrand.New(0xC0FF_EE)
+	for trial := 0; trial < 200; trial++ {
+		cfg := randomConfig(src)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid config: %v", trial, err)
+		}
+		path := dir + "/cfg.json"
+		if err := hetwire.SaveConfigFile(path, cfg); err != nil {
+			t.Fatalf("trial %d: save: %v", trial, err)
+		}
+		loaded, err := hetwire.LoadConfigFile(path)
+		if err != nil {
+			t.Fatalf("trial %d: load: %v", trial, err)
+		}
+		if !reflect.DeepEqual(cfg, loaded) {
+			t.Fatalf("trial %d: load(save(cfg)) != cfg\n save: %+v\n load: %+v", trial, cfg, loaded)
+		}
+		raw1, err := hetwire.ConfigJSON(cfg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		raw2, err := hetwire.ConfigJSON(loaded)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !bytes.Equal(raw1, raw2) {
+			t.Fatalf("trial %d: canonical JSON not a fixpoint:\n%s\nvs\n%s", trial, raw1, raw2)
+		}
+		h1, err1 := hetwire.ConfigHash(cfg)
+		h2, err2 := hetwire.ConfigHash(loaded)
+		if err1 != nil || err2 != nil || h1 != h2 {
+			t.Fatalf("trial %d: hash mismatch %q vs %q (%v, %v)", trial, h1, h2, err1, err2)
+		}
+	}
+}
+
+// TestConfigHashDiscriminates: equivalent configs built through different
+// paths hash equal; changing any persisted knob changes the hash.
+func TestConfigHashDiscriminates(t *testing.T) {
+	a := hetwire.DefaultConfig().WithModel(hetwire.ModelVII)
+	b, err := hetwire.ConfigFromJSON([]byte(`{"model":"VII","clusters":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, err := hetwire.ConfigHash(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := hetwire.ConfigHash(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Errorf("equivalent configs hash differently: %s vs %s", ha, hb)
+	}
+	c := a
+	c.LatencyScale = 2
+	if hc, _ := hetwire.ConfigHash(c); hc == ha {
+		t.Error("latency change did not change the hash")
+	}
+	d := a
+	d.Tech.NarrowOperands = false
+	if hd, _ := hetwire.ConfigHash(d); hd == ha {
+		t.Error("technique change did not change the hash")
+	}
+}

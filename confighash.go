@@ -1,0 +1,22 @@
+package hetwire
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// ConfigHash returns a stable content hash of the sweep-relevant machine
+// configuration: the SHA-256 of its canonical JSON form (see ConfigJSON),
+// hex-encoded. Two configs hash equally exactly when every knob a config
+// file can express agrees, regardless of how either Config value was
+// constructed — the property the hetwired result cache keys on. Configs
+// with a custom (unnamed) link composition have no canonical form and
+// return an error.
+func ConfigHash(cfg Config) (string, error) {
+	raw, err := ConfigJSON(cfg)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}

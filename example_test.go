@@ -3,8 +3,10 @@ package hetwire_test
 import (
 	"fmt"
 	"log"
+	"testing"
 
 	"hetwire"
+	"hetwire/internal/workload"
 )
 
 // The simplest use: run one benchmark on the paper's baseline machine.
@@ -61,4 +63,41 @@ func ExampleExploreArea() {
 	})
 	best := r.Best()
 	fmt.Printf("ED2-optimal link within 1.5 area units: %s (ED2 %.0f)\n", best.Link, best.RelED2)
+}
+
+// TestExampleResultsAreLabeled pins the benchmark labeling contract the
+// examples rely on: every public run path — RunBenchmark, RunKernel, and a
+// raw Simulator fed a workload generator — stamps Result.Benchmark.
+func TestExampleResultsAreLabeled(t *testing.T) {
+	res, err := hetwire.RunBenchmark(hetwire.DefaultConfig(), "gzip", 5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benchmark != "gzip" {
+		t.Errorf("RunBenchmark label = %q, want gzip", res.Benchmark)
+	}
+	res, err = hetwire.RunKernel(hetwire.DefaultConfig(), "stream", 5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benchmark != "stream" {
+		t.Errorf("RunKernel label = %q, want stream", res.Benchmark)
+	}
+	sim, err := hetwire.NewSimulator(hetwire.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = sim.Run(workload.NewGenerator(mustProfile(t, "mcf")), 5_000)
+	if res.Benchmark != "mcf" {
+		t.Errorf("Simulator.Run label = %q, want mcf", res.Benchmark)
+	}
+}
+
+func mustProfile(t *testing.T, name string) workload.Profile {
+	t.Helper()
+	prof, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("profile %q missing", name)
+	}
+	return prof
 }

@@ -30,6 +30,7 @@ import (
 	"hetwire/internal/core"
 	"hetwire/internal/trace"
 	"hetwire/internal/workload"
+	"hetwire/internal/xrand"
 )
 
 // Stats re-exports the simulator's statistics type.
@@ -62,6 +63,13 @@ const (
 	HierRing16 = config.HierRing16
 )
 
+// Steering policies (see config.SteeringPolicy).
+const (
+	SteerDynamic    = config.SteerDynamic
+	SteerStatic     = config.SteerStatic
+	SteerRoundRobin = config.SteerRoundRobin
+)
+
 // DefaultConfig returns the paper's baseline machine: 4 clusters, Model I
 // homogeneous B-wire interconnect, Table 1 core parameters, no
 // heterogeneous-wire techniques.
@@ -90,10 +98,17 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	return &Simulator{cfg: cfg, proc: core.New(cfg)}, nil
 }
 
-// Run simulates n instructions from the stream.
+// Run simulates n instructions from the stream. When the stream knows its
+// workload's name (workload generators implement Name), the result is
+// labeled with it; anonymous streams such as trace-file replays leave
+// Result.Benchmark empty.
 func (s *Simulator) Run(src trace.Stream, n uint64) Result {
 	st := s.proc.Run(src, n)
-	return Result{Stats: st, Config: s.cfg}
+	res := Result{Stats: st, Config: s.cfg}
+	if named, ok := src.(interface{ Name() string }); ok {
+		res.Benchmark = named.Name()
+	}
+	return res
 }
 
 // Warmup simulates n instructions and discards their statistics, keeping
@@ -148,16 +163,12 @@ func RunMultiprogrammed(cfg Config, benchmarks []string, n uint64) ([]ThreadResu
 		return nil, fmt.Errorf("hetwire: need between 1 and %d threads, got %d",
 			cfg.Topology.Clusters(), len(benchmarks))
 	}
-	streams := make([]trace.Stream, len(benchmarks))
-	for i, b := range benchmarks {
-		prof, ok := workload.ByName(b)
-		if !ok {
-			if prof, ok = workload.KernelByName(b); !ok {
-				return nil, fmt.Errorf("hetwire: unknown benchmark %q", b)
-			}
-		}
-		prof.AddrOffset = uint64(i) << 33
-		prof.Seed ^= uint64(i) * 0x9E37
+	profs, err := multiprogProfiles(benchmarks)
+	if err != nil {
+		return nil, err
+	}
+	streams := make([]trace.Stream, len(profs))
+	for i, prof := range profs {
 		streams[i] = workload.NewGenerator(prof)
 	}
 	res := core.RunMultiprogram(cfg, streams, n)
@@ -166,6 +177,27 @@ func RunMultiprogrammed(cfg Config, benchmarks []string, n uint64) ([]ThreadResu
 		out[i] = ThreadResult{Benchmark: benchmarks[i], Clusters: r.Clusters, Stats: r.Stats}
 	}
 	return out, nil
+}
+
+// multiprogProfiles resolves benchmark or kernel names to workload profiles
+// placed in disjoint address spaces with pairwise-distinct generator seeds.
+// Thread i's seed is derived from the profile's base seed with a splitmix64
+// step, so no thread — not even thread 0 — replays the stream of a
+// single-program run of the same benchmark.
+func multiprogProfiles(benchmarks []string) ([]workload.Profile, error) {
+	profs := make([]workload.Profile, len(benchmarks))
+	for i, b := range benchmarks {
+		prof, ok := workload.ByName(b)
+		if !ok {
+			if prof, ok = workload.KernelByName(b); !ok {
+				return nil, fmt.Errorf("hetwire: unknown benchmark %q", b)
+			}
+		}
+		prof.AddrOffset = uint64(i) << 33
+		prof.Seed = xrand.Mix(prof.Seed, uint64(i))
+		profs[i] = prof
+	}
+	return profs, nil
 }
 
 // Kernels lists the synthetic microbenchmark kernels (pchase, stream,

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a content-addressed result cache with LRU eviction under a byte
+// budget and in-flight deduplication: concurrent requests for the same key
+// coalesce onto one computation instead of simulating twice. Keys are the
+// canonical request hashes from hetwire.RunRequest.CacheKey, so a hit is
+// guaranteed to be byte-identical to what re-running the request would
+// produce (simulations are deterministic).
+type Cache struct {
+	mu       sync.Mutex
+	budget   int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	entries  map[string]*list.Element
+	inflight map[string]*flight
+
+	hits      uint64 // served from a stored entry
+	coalesced uint64 // served by waiting on an in-flight computation
+	misses    uint64 // computed fresh
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// NewCache creates a cache holding at most budget bytes of response bodies.
+// A budget <= 0 disables storage (every request computes) but keeps
+// in-flight deduplication.
+func NewCache(budget int64) *Cache {
+	return &Cache{
+		budget:   budget,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Do returns the cached body for key, or computes it. The hit result is
+// true when the body was served without running compute in this call —
+// either from the store or by coalescing onto another caller's in-flight
+// computation. Returned bodies are shared; callers must not mutate them.
+func (c *Cache) Do(key string, compute func() ([]byte, error)) (body []byte, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		body = el.Value.(*cacheEntry).body
+		c.mu.Unlock()
+		return body, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		<-f.done
+		return f.body, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	f.body, f.err = compute()
+	close(f.done)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.insert(key, f.body)
+	}
+	c.mu.Unlock()
+	return f.body, false, f.err
+}
+
+// Get looks the key up without computing on miss.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// insert stores the body and evicts LRU entries past the byte budget.
+// Bodies larger than the whole budget are not stored at all — evicting the
+// entire cache for one oversized response would be strictly worse.
+// Called with c.mu held.
+func (c *Cache) insert(key string, body []byte) {
+	size := int64(len(body))
+	if size > c.budget {
+		return
+	}
+	if el, ok := c.entries[key]; ok { // lost a race with an identical insert
+		c.bytes -= int64(len(el.Value.(*cacheEntry).body))
+		c.ll.Remove(el)
+		delete(c.entries, key)
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	c.bytes += size
+	for c.bytes > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.entries, ent.key)
+		c.bytes -= int64(len(ent.body))
+		c.evictions++
+	}
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Entries   int
+	Bytes     int64
+	Budget    int64
+	Hits      uint64 // stored-entry hits
+	Coalesced uint64 // in-flight dedup hits
+	Misses    uint64
+	Evictions uint64
+}
+
+// HitRatio returns hits (stored + coalesced) over all lookups.
+func (s CacheStats) HitRatio() float64 {
+	total := s.Hits + s.Coalesced + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Coalesced) / float64(total)
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   len(c.entries),
+		Bytes:     c.bytes,
+		Budget:    c.budget,
+		Hits:      c.hits,
+		Coalesced: c.coalesced,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

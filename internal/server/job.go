@@ -1,0 +1,266 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hetwire"
+)
+
+// JobState is the lifecycle of a submitted job.
+type JobState string
+
+// Job lifecycle: Queued -> Running -> one of Done/Failed/Cancelled. Queued
+// jobs cancel immediately; running sweep jobs cancel between points
+// (individual simulation legs are not preemptible).
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job is one queued unit of work: a single/multiprogrammed run or a sweep.
+type Job struct {
+	ID    string
+	Kind  string // "run" or "sweep"
+	Req   hetwire.RunRequest
+	Sweep *SweepRequest
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed on reaching a terminal state
+
+	mu        sync.Mutex
+	state     JobState
+	body      []byte // marshalled result, valid when state == StateDone
+	errMsg    string
+	cacheHit  bool
+	ipc       float64
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// newJob builds a queued job whose context descends from parent.
+func newJob(parent context.Context, id, kind string, now time.Time) *Job {
+	ctx, cancel := context.WithCancel(parent)
+	return &Job{
+		ID:        id,
+		Kind:      kind,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		submitted: now,
+	}
+}
+
+// claim transitions queued -> running; it returns false when the job was
+// cancelled while waiting in the queue.
+func (j *Job) claim(now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = now
+	return true
+}
+
+// finish records the terminal outcome. Cancellation wins over errors so a
+// job cancelled mid-sweep reports "cancelled", not the context error.
+func (j *Job) finish(body []byte, cacheHit bool, ipc float64, err error, now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.finished = now
+	switch {
+	case err != nil && errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.errMsg = "cancelled"
+	case err != nil:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	default:
+		j.state = StateDone
+		j.body = body
+		j.cacheHit = cacheHit
+		j.ipc = ipc
+	}
+	close(j.done)
+}
+
+// markCancelled resolves a still-queued job without running it.
+func (j *Job) markCancelled(now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateCancelled
+	j.errMsg = "cancelled"
+	j.finished = now
+	close(j.done)
+	return true
+}
+
+// State returns the current state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// JobStatus is the JSON view of a job served by the jobs endpoints.
+type JobStatus struct {
+	ID        string          `json:"id"`
+	Kind      string          `json:"kind"`
+	State     JobState        `json:"state"`
+	CacheHit  bool            `json:"cache_hit,omitempty"`
+	IPC       float64         `json:"ipc,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Submitted time.Time       `json:"submitted"`
+	WallMS    float64         `json:"wall_ms,omitempty"`
+	QueueMS   float64         `json:"queue_ms,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+}
+
+// Status snapshots the job. Result bodies are included only when done and
+// withResult is set (list views stay small).
+func (j *Job) Status(withResult bool) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.ID,
+		Kind:      j.Kind,
+		State:     j.state,
+		CacheHit:  j.cacheHit,
+		IPC:       j.ipc,
+		Error:     j.errMsg,
+		Submitted: j.submitted,
+	}
+	if !j.started.IsZero() {
+		st.QueueMS = float64(j.started.Sub(j.submitted)) / float64(time.Millisecond)
+		if !j.finished.IsZero() {
+			st.WallMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+		}
+	}
+	if withResult && j.state == StateDone {
+		st.Result = j.body
+	}
+	return st
+}
+
+// Errors the queue reports to submitters.
+var (
+	ErrQueueFull = errors.New("server: job queue is full")
+	ErrDraining  = errors.New("server: draining, not accepting jobs")
+)
+
+// jobQueue is a bounded FIFO of jobs. Closing it (drain) makes further
+// pushes fail while workers finish what is already queued.
+type jobQueue struct {
+	mu     sync.Mutex
+	ch     chan *Job
+	closed bool
+}
+
+func newJobQueue(depth int) *jobQueue {
+	return &jobQueue{ch: make(chan *Job, depth)}
+}
+
+// push enqueues without blocking; ErrQueueFull when at capacity and
+// ErrDraining after close.
+func (q *jobQueue) push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	select {
+	case q.ch <- j:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// close stops intake; queued jobs remain for workers to drain.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}
+
+func (q *jobQueue) depth() int { return len(q.ch) }
+
+// SweepRequest asks for the cross product of models x benchmarks x
+// instruction counts, executed as one job. Every point goes through the
+// result cache individually, so overlapping sweeps re-simulate only the
+// points no earlier query has covered.
+type SweepRequest struct {
+	Models     []string        `json:"models"`
+	Benchmarks []string        `json:"benchmarks"`
+	Ns         []uint64        `json:"ns,omitempty"`
+	Clusters   int             `json:"clusters,omitempty"`
+	Config     json.RawMessage `json:"config,omitempty"`
+}
+
+// expand enumerates the sweep's points as individual run requests, in
+// deterministic benchmark-major order.
+func (s *SweepRequest) expand() ([]hetwire.RunRequest, error) {
+	if len(s.Models) == 0 || len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("server: sweep needs at least one model and one benchmark")
+	}
+	ns := s.Ns
+	if len(ns) == 0 {
+		ns = []uint64{hetwire.DefaultRunInstructions}
+	}
+	reqs := make([]hetwire.RunRequest, 0, len(s.Models)*len(s.Benchmarks)*len(ns))
+	for _, b := range s.Benchmarks {
+		for _, m := range s.Models {
+			for _, n := range ns {
+				reqs = append(reqs, hetwire.RunRequest{
+					Benchmark: b,
+					Model:     m,
+					N:         n,
+					Clusters:  s.Clusters,
+					Config:    s.Config,
+				})
+			}
+		}
+	}
+	return reqs, nil
+}
+
+// SweepPoint is one completed point of a sweep response.
+type SweepPoint struct {
+	Benchmark string  `json:"benchmark"`
+	Model     string  `json:"model"`
+	N         uint64  `json:"n"`
+	IPC       float64 `json:"ipc"`
+	Cached    bool    `json:"cached"`
+}
+
+// SweepResponse is the marshalled result of a sweep job.
+type SweepResponse struct {
+	Points    []SweepPoint `json:"points"`
+	CacheHits int          `json:"cache_hits"`
+}

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hetwire/internal/stats"
+)
+
+// latency histogram geometry: 1ms buckets up to 50ms, overflow beyond.
+// Synchronous simulation endpoints overflow by design — their mean is still
+// exact via sum/count — while the metadata and polling endpoints resolve.
+const (
+	latBuckets     = 50
+	latBucketWidth = 1000 // microseconds
+)
+
+// Metrics aggregates the daemon's observability counters. All mutation is
+// either atomic or under mu; rendering takes a consistent-enough snapshot
+// for Prometheus scraping (gauges may lag each other by a scrape).
+type Metrics struct {
+	start time.Time
+
+	jobsSubmitted atomic.Uint64
+	jobsDone      atomic.Uint64
+	jobsFailed    atomic.Uint64
+	jobsCancelled atomic.Uint64
+	jobsRunning   atomic.Int64
+
+	workers     int
+	workersBusy atomic.Int64
+
+	// instructions is the total simulated instruction count (cache hits do
+	// not re-simulate and therefore do not count).
+	instructions atomic.Uint64
+	// simBusy accumulates nanoseconds spent inside simulation calls.
+	simBusy atomic.Int64
+
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+}
+
+type endpointMetrics struct {
+	requests uint64
+	statuses map[int]uint64
+	latency  *stats.Histogram // microseconds
+}
+
+// NewMetrics creates the registry for a pool of the given size.
+func NewMetrics(workers int, now time.Time) *Metrics {
+	return &Metrics{start: now, workers: workers, endpoints: make(map[string]*endpointMetrics)}
+}
+
+// ObserveRequest records one served HTTP request for the route pattern.
+func (m *Metrics) ObserveRequest(route string, status int, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ep, ok := m.endpoints[route]
+	if !ok {
+		ep = &endpointMetrics{
+			statuses: make(map[int]uint64),
+			latency:  stats.NewHistogram(latBuckets, latBucketWidth),
+		}
+		m.endpoints[route] = ep
+	}
+	ep.requests++
+	ep.statuses[status]++
+	ep.latency.Observe(uint64(elapsed / time.Microsecond))
+}
+
+// render writes the Prometheus text exposition. Gauges that live outside
+// the registry (queue depth, cache counters) are passed in by the server.
+func (m *Metrics) render(w io.Writer, queueDepth int, draining bool, cs CacheStats, now time.Time) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	up := 1.0
+	if draining {
+		up = 0
+	}
+	gauge("hetwired_up", "1 while serving, 0 while draining.", up)
+	gauge("hetwired_uptime_seconds", "Seconds since the daemon started.", now.Sub(m.start).Seconds())
+
+	fmt.Fprintf(w, "# HELP hetwired_jobs_total Jobs by terminal state.\n# TYPE hetwired_jobs_total counter\n")
+	fmt.Fprintf(w, "hetwired_jobs_total{state=\"done\"} %d\n", m.jobsDone.Load())
+	fmt.Fprintf(w, "hetwired_jobs_total{state=\"failed\"} %d\n", m.jobsFailed.Load())
+	fmt.Fprintf(w, "hetwired_jobs_total{state=\"cancelled\"} %d\n", m.jobsCancelled.Load())
+	counter("hetwired_jobs_submitted_total", "Jobs accepted into the queue.", m.jobsSubmitted.Load())
+
+	fmt.Fprintf(w, "# HELP hetwired_jobs Jobs currently in a live state.\n# TYPE hetwired_jobs gauge\n")
+	fmt.Fprintf(w, "hetwired_jobs{state=\"queued\"} %d\n", queueDepth)
+	fmt.Fprintf(w, "hetwired_jobs{state=\"running\"} %d\n", m.jobsRunning.Load())
+
+	gauge("hetwired_queue_depth", "Jobs waiting in the FIFO queue.", float64(queueDepth))
+	gauge("hetwired_workers", "Size of the worker pool.", float64(m.workers))
+	gauge("hetwired_workers_busy", "Workers currently executing a job.", float64(m.workersBusy.Load()))
+	if m.workers > 0 {
+		gauge("hetwired_worker_utilization", "Fraction of workers busy.",
+			float64(m.workersBusy.Load())/float64(m.workers))
+	}
+
+	counter("hetwired_cache_hits_total", "Result-cache hits served from stored entries.", cs.Hits)
+	counter("hetwired_cache_coalesced_total", "Requests deduplicated onto an in-flight computation.", cs.Coalesced)
+	counter("hetwired_cache_misses_total", "Result-cache misses (fresh simulations).", cs.Misses)
+	counter("hetwired_cache_evictions_total", "Entries evicted to stay within the byte budget.", cs.Evictions)
+	gauge("hetwired_cache_entries", "Entries resident in the result cache.", float64(cs.Entries))
+	gauge("hetwired_cache_bytes", "Bytes resident in the result cache.", float64(cs.Bytes))
+	gauge("hetwired_cache_budget_bytes", "Byte budget of the result cache.", float64(cs.Budget))
+	gauge("hetwired_cache_hit_ratio", "Lifetime hit ratio including coalesced requests.", cs.HitRatio())
+
+	instr := m.instructions.Load()
+	counter("hetwired_simulated_instructions_total", "Instructions simulated (cache hits excluded).", instr)
+	if busy := m.simBusy.Load(); busy > 0 {
+		gauge("hetwired_simulated_instructions_per_second",
+			"Lifetime simulation throughput over busy time.",
+			float64(instr)/(float64(busy)/float64(time.Second)))
+	}
+
+	m.renderEndpoints(w)
+}
+
+// renderEndpoints emits per-route request counters and latency histograms
+// built on internal/stats histograms.
+func (m *Metrics) renderEndpoints(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	routes := make([]string, 0, len(m.endpoints))
+	for r := range m.endpoints {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+
+	fmt.Fprintf(w, "# HELP hetwired_http_requests_total Requests served, by route and status.\n# TYPE hetwired_http_requests_total counter\n")
+	for _, r := range routes {
+		ep := m.endpoints[r]
+		codes := make([]int, 0, len(ep.statuses))
+		for c := range ep.statuses {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "hetwired_http_requests_total{route=%q,code=\"%d\"} %d\n", r, c, ep.statuses[c])
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP hetwired_http_request_duration_seconds Request latency, by route.\n# TYPE hetwired_http_request_duration_seconds histogram\n")
+	for _, r := range routes {
+		ep := m.endpoints[r]
+		for _, b := range ep.latency.Cumulative() {
+			if b.Inf {
+				fmt.Fprintf(w, "hetwired_http_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r, b.Count)
+				continue
+			}
+			le := float64(b.UpperBound+1) / 1e6
+			fmt.Fprintf(w, "hetwired_http_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n", r, le, b.Count)
+		}
+		fmt.Fprintf(w, "hetwired_http_request_duration_seconds_sum{route=%q} %g\n", r, float64(ep.latency.Sum)/1e6)
+		fmt.Fprintf(w, "hetwired_http_request_duration_seconds_count{route=%q} %d\n", r, ep.latency.Count)
+	}
+}

@@ -1,0 +1,521 @@
+// Package server implements hetwired, the simulation-as-a-service daemon:
+// an HTTP/JSON front end over the hetwire simulator with a bounded FIFO job
+// queue, a fixed worker pool, a content-addressed result cache, and
+// Prometheus-format metrics. Simulations are deterministic, so identical
+// requests are served from the cache (or coalesced onto an in-flight run)
+// instead of re-simulating.
+//
+// Endpoints:
+//
+//	POST   /v1/run        synchronous run; X-Hetwired-Cache: hit|miss
+//	POST   /v1/jobs       submit a run or sweep job; returns its id
+//	GET    /v1/jobs       list job statuses (?state= filters)
+//	GET    /v1/jobs/{id}  poll one job; result body included when done
+//	DELETE /v1/jobs/{id}  cancel a queued or running job
+//	GET    /v1/catalog    benchmarks, kernels, and interconnect models
+//	GET    /healthz       liveness (503 while draining)
+//	GET    /metrics       Prometheus text exposition
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"hetwire"
+	"hetwire/internal/config"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the simulation worker-pool size (default 4).
+	Workers int
+	// QueueDepth bounds the FIFO job queue (default 64); submissions
+	// beyond it are rejected with 503.
+	QueueDepth int
+	// CacheBytes is the result-cache byte budget (default 64 MiB).
+	CacheBytes int64
+	// MaxJobs bounds the retained job records; the oldest terminal jobs
+	// are pruned past it (default 1024).
+	MaxJobs int
+	// Logger receives structured request and job logs (default: discard).
+	Logger *log.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 64 << 20
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 1024
+	}
+	if o.Logger == nil {
+		o.Logger = log.New(discard{}, "", 0)
+	}
+	return o
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Server is the hetwired daemon core. Create with New, serve its Handler,
+// and stop with Shutdown.
+type Server struct {
+	opts    Options
+	mux     *http.ServeMux
+	queue   *jobQueue
+	cache   *Cache
+	metrics *Metrics
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing and pruning
+	nextID   uint64
+	draining bool
+}
+
+// New builds a server and starts its worker pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:    opts,
+		queue:   newJobQueue(opts.QueueDepth),
+		cache:   NewCache(opts.CacheBytes),
+		metrics: NewMetrics(opts.Workers, time.Now()),
+		baseCtx: ctx,
+		stop:    cancel,
+		jobs:    make(map[string]*Job),
+	}
+	s.mux = http.NewServeMux()
+	s.route("POST", "/v1/run", s.handleRunSync)
+	s.route("POST", "/v1/jobs", s.handleSubmit)
+	s.route("GET", "/v1/jobs", s.handleListJobs)
+	s.route("GET", "/v1/jobs/{id}", s.handleGetJob)
+	s.route("DELETE", "/v1/jobs/{id}", s.handleCancelJob)
+	s.route("GET", "/v1/catalog", s.handleCatalog)
+	s.route("GET", "/healthz", s.handleHealthz)
+	s.route("GET", "/metrics", s.handleMetrics)
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the result cache (tests and the daemon's summary log).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Metrics exposes the metrics registry.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// route registers a handler with request logging and latency metrics keyed
+// by the route pattern (not the raw URL, which would explode cardinality).
+func (s *Server) route(method, pattern string, h http.HandlerFunc) {
+	label := method + " " + pattern
+	s.mux.HandleFunc(method+" "+pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		elapsed := time.Since(start)
+		s.metrics.ObserveRequest(label, rec.status, elapsed)
+		s.opts.Logger.Printf("http method=%s path=%s status=%d bytes=%d dur=%s",
+			r.Method, r.URL.Path, rec.status, rec.bytes, elapsed.Round(time.Microsecond))
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += n
+	return n, err
+}
+
+// Shutdown drains the daemon: intake closes immediately (submissions get
+// 503), queued and running jobs finish, and the worker pool exits. If ctx
+// expires first, running jobs are cancelled (sweeps stop between points)
+// and Shutdown returns the context error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.queue.close()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.stop()
+		return nil
+	case <-ctx.Done():
+		s.stop() // cancel running jobs, then wait for workers to notice
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker drains the queue until it is closed and empty.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue.ch {
+		s.runJob(job)
+	}
+}
+
+// runJob executes one claimed job and records its outcome.
+func (s *Server) runJob(job *Job) {
+	if !job.claim(time.Now()) {
+		return // cancelled while queued
+	}
+	s.metrics.jobsRunning.Add(1)
+	s.metrics.workersBusy.Add(1)
+	start := time.Now()
+
+	var body []byte
+	var hit bool
+	var err error
+	switch job.Kind {
+	case "sweep":
+		body, hit, err = s.runSweep(job.ctx, job.Sweep)
+	default:
+		body, hit, err = s.runCached(job.ctx, &job.Req)
+	}
+	now := time.Now()
+	job.finish(body, hit, ipcOf(body), err, now)
+
+	s.metrics.jobsRunning.Add(-1)
+	s.metrics.workersBusy.Add(-1)
+	state := job.State()
+	switch state {
+	case StateDone:
+		s.metrics.jobsDone.Add(1)
+	case StateFailed:
+		s.metrics.jobsFailed.Add(1)
+	case StateCancelled:
+		s.metrics.jobsCancelled.Add(1)
+	}
+	st := job.Status(false)
+	s.opts.Logger.Printf("job id=%s kind=%s state=%s cache_hit=%t wall_ms=%.1f ipc=%.3f err=%q",
+		job.ID, job.Kind, state, st.CacheHit, float64(now.Sub(start))/float64(time.Millisecond), st.IPC, st.Error)
+}
+
+// runCached serves one run request through the result cache.
+func (s *Server) runCached(ctx context.Context, req *hetwire.RunRequest) ([]byte, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	key, err := req.CacheKey()
+	if err != nil {
+		return nil, false, err
+	}
+	return s.cache.Do(key, func() ([]byte, error) {
+		simStart := time.Now()
+		resp, err := req.Execute()
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.simBusy.Add(int64(time.Since(simStart)))
+		s.metrics.instructions.Add(resp.Instructions)
+		return json.Marshal(resp)
+	})
+}
+
+// runSweep executes a sweep point by point, consulting the cache for each
+// and honouring cancellation between points.
+func (s *Server) runSweep(ctx context.Context, sw *SweepRequest) ([]byte, bool, error) {
+	reqs, err := sw.expand()
+	if err != nil {
+		return nil, false, err
+	}
+	out := SweepResponse{Points: make([]SweepPoint, 0, len(reqs))}
+	for i := range reqs {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		req := &reqs[i]
+		body, hit, err := s.runCached(ctx, req)
+		if err != nil {
+			return nil, false, fmt.Errorf("point %s/%s/n=%d: %w",
+				req.Benchmark, req.Model, req.Instructions(), err)
+		}
+		if hit {
+			out.CacheHits++
+		}
+		out.Points = append(out.Points, SweepPoint{
+			Benchmark: req.Benchmark,
+			Model:     req.Model,
+			N:         req.Instructions(),
+			IPC:       ipcOf(body),
+			Cached:    hit,
+		})
+	}
+	body, err := json.Marshal(out)
+	return body, out.CacheHits == len(reqs), err
+}
+
+// ipcOf extracts the summary IPC from a marshalled response body.
+func ipcOf(body []byte) float64 {
+	var v struct {
+		IPC float64 `json:"ipc"`
+	}
+	if body == nil || json.Unmarshal(body, &v) != nil {
+		return 0
+	}
+	return v.IPC
+}
+
+// submitRequest is the POST /v1/jobs body: either run-request fields inline
+// or a "sweep" object.
+type submitRequest struct {
+	hetwire.RunRequest
+	Sweep *SweepRequest `json:"sweep,omitempty"`
+}
+
+// submit validates, registers, and enqueues a job.
+func (s *Server) submit(sub *submitRequest) (*Job, error) {
+	kind := "run"
+	if sub.Sweep != nil {
+		kind = "sweep"
+		if _, err := sub.Sweep.expand(); err != nil {
+			return nil, err
+		}
+	} else if err := sub.RunRequest.Validate(); err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	s.nextID++
+	job := newJob(s.baseCtx, fmt.Sprintf("j-%06d", s.nextID), kind, time.Now())
+	job.Req = sub.RunRequest
+	job.Sweep = sub.Sweep
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.pruneLocked()
+	s.mu.Unlock()
+
+	if err := s.queue.push(job); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, job.ID)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.metrics.jobsSubmitted.Add(1)
+	return job, nil
+}
+
+// pruneLocked drops the oldest terminal job records past MaxJobs.
+func (s *Server) pruneLocked() {
+	for len(s.order) > s.opts.MaxJobs {
+		pruned := false
+		for i, id := range s.order {
+			if j, ok := s.jobs[id]; ok && j.State().Terminal() {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				pruned = true
+				break
+			}
+		}
+		if !pruned {
+			return // everything retained is still live
+		}
+	}
+}
+
+// --- HTTP handlers ---
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sub submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	job, err := s.submit(&sub)
+	if err != nil {
+		httpError(w, submitStatus(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, job.Status(false))
+}
+
+// handleRunSync submits a run and blocks until it completes, returning the
+// result body directly; the X-Hetwired-Cache header reports hit or miss.
+func (s *Server) handleRunSync(w http.ResponseWriter, r *http.Request) {
+	var req hetwire.RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	job, err := s.submit(&submitRequest{RunRequest: req})
+	if err != nil {
+		httpError(w, submitStatus(err), err)
+		return
+	}
+	select {
+	case <-job.done:
+	case <-r.Context().Done():
+		// The client went away; the job keeps running and fills the cache.
+		httpError(w, 499, fmt.Errorf("client closed request; job %s continues", job.ID))
+		return
+	}
+	st := job.Status(true)
+	switch st.State {
+	case StateDone:
+		if st.CacheHit {
+			w.Header().Set("X-Hetwired-Cache", "hit")
+		} else {
+			w.Header().Set("X-Hetwired-Cache", "miss")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(st.Result)
+	case StateCancelled:
+		httpError(w, http.StatusConflict, fmt.Errorf("job %s cancelled", job.ID))
+	default:
+		httpError(w, http.StatusInternalServerError, errors.New(st.Error))
+	}
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	filter := JobState(r.URL.Query().Get("state"))
+	s.mu.Lock()
+	ids := make([]string, len(s.order))
+	copy(ids, s.order)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := s.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		st := j.Status(false)
+		if filter != "" && st.State != filter {
+			continue
+		}
+		out = append(out, st)
+	}
+	writeJSON(w, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(r.PathValue("id"))
+	if job == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, job.Status(true))
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(r.PathValue("id"))
+	if job == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	if job.markCancelled(time.Now()) {
+		s.metrics.jobsCancelled.Add(1)
+	} else {
+		job.cancel() // running: stops between sweep points; terminal: no-op
+	}
+	writeJSON(w, job.Status(false))
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
+	models := make([]string, 0, 10)
+	for _, m := range config.Models() {
+		models = append(models, m.ID.String())
+	}
+	writeJSON(w, map[string]any{
+		"benchmarks": hetwire.Benchmarks(),
+		"kernels":    hetwire.Kernels(),
+		"models":     models,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		writeJSON(w, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, map[string]any{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.render(w, s.queue.depth(), draining, s.cache.Stats(), time.Now())
+}
+
+func (s *Server) lookup(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// submitStatus maps submission errors to HTTP statuses: overload conditions
+// are 503 (retryable), bad requests 400.
+func submitStatus(err error) int {
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDraining) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	if w.Header().Get("Content-Type") == "" {
+		w.Header().Set("Content-Type", "application/json")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -128,6 +128,50 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	return h.MaxSeen
 }
 
+// CumBucket is one cumulative histogram bucket in export form: Count is the
+// number of samples <= UpperBound. The final bucket has Inf true (no upper
+// bound) and carries the total sample count — the shape Prometheus's
+// histogram text format expects for its "le" label series.
+type CumBucket struct {
+	UpperBound uint64
+	Inf        bool
+	Count      uint64
+}
+
+// Cumulative exports the histogram as cumulative buckets. Bucket i covers
+// samples < (i+1)*Width, i.e. its upper bound is inclusive at
+// (i+1)*Width-1; the trailing +Inf bucket absorbs the overflow samples.
+// Together with Sum and Count this is everything a Prometheus histogram
+// exposition needs.
+func (h *Histogram) Cumulative() []CumBucket {
+	out := make([]CumBucket, 0, len(h.Buckets)+1)
+	var cum uint64
+	for i, b := range h.Buckets {
+		cum += b
+		out = append(out, CumBucket{UpperBound: uint64(i+1)*h.Width - 1, Count: cum})
+	}
+	out = append(out, CumBucket{Inf: true, Count: h.Count})
+	return out
+}
+
+// Merge adds the samples of other into h. The histograms must have the same
+// bucket geometry; Merge panics otherwise, since silently re-bucketing
+// would corrupt quantiles.
+func (h *Histogram) Merge(other *Histogram) {
+	if h.Width != other.Width || len(h.Buckets) != len(other.Buckets) {
+		panic("stats: merging histograms with different geometry")
+	}
+	for i, b := range other.Buckets {
+		h.Buckets[i] += b
+	}
+	h.Over += other.Over
+	h.Count += other.Count
+	h.Sum += other.Sum
+	if other.MaxSeen > h.MaxSeen {
+		h.MaxSeen = other.MaxSeen
+	}
+}
+
 // ArithmeticMean averages a slice of float64 values. The paper reports the
 // arithmetic mean of IPCs, which "represents a workload where every program
 // executes for an equal number of cycles" [John 2004].

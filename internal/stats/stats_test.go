@@ -118,3 +118,56 @@ func TestHistogramPanicsOnBadConfig(t *testing.T) {
 	}()
 	NewHistogram(4, 0)
 }
+
+func TestHistogramCumulative(t *testing.T) {
+	h := NewHistogram(4, 10)
+	for _, v := range []uint64{0, 3, 9, 10, 25, 39, 40, 1000} {
+		h.Observe(v)
+	}
+	cum := h.Cumulative()
+	if len(cum) != 5 {
+		t.Fatalf("want 4 finite buckets + inf, got %d", len(cum))
+	}
+	wantBounds := []uint64{9, 19, 29, 39}
+	wantCounts := []uint64{3, 4, 5, 6}
+	for i := 0; i < 4; i++ {
+		if cum[i].Inf || cum[i].UpperBound != wantBounds[i] || cum[i].Count != wantCounts[i] {
+			t.Errorf("bucket %d = %+v, want le=%d count=%d", i, cum[i], wantBounds[i], wantCounts[i])
+		}
+	}
+	last := cum[4]
+	if !last.Inf || last.Count != h.Count || last.Count != 8 {
+		t.Errorf("inf bucket = %+v, want count %d", last, h.Count)
+	}
+	// Cumulative counts must be monotonic — the Prometheus invariant.
+	for i := 1; i < len(cum); i++ {
+		if cum[i].Count < cum[i-1].Count {
+			t.Errorf("counts not monotonic at %d: %d < %d", i, cum[i].Count, cum[i-1].Count)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(4, 10)
+	b := NewHistogram(4, 10)
+	for _, v := range []uint64{1, 11, 100} {
+		a.Observe(v)
+	}
+	for _, v := range []uint64{2, 35, 200} {
+		b.Observe(v)
+	}
+	a.Merge(b)
+	if a.Count != 6 || a.Sum != 349 || a.MaxSeen != 200 || a.Over != 2 {
+		t.Errorf("merged = count %d sum %d max %d over %d", a.Count, a.Sum, a.MaxSeen, a.Over)
+	}
+	if a.Buckets[0] != 2 || a.Buckets[1] != 1 || a.Buckets[3] != 1 {
+		t.Errorf("merged buckets = %v", a.Buckets)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched geometry did not panic")
+		}
+	}()
+	a.Merge(NewHistogram(2, 5))
+}

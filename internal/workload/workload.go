@@ -185,6 +185,10 @@ func NewGenerator(p Profile) *Generator {
 	return g
 }
 
+// Name returns the profile name of the workload being generated, so
+// consumers can label results produced from this stream.
+func (g *Generator) Name() string { return g.prof.Name }
+
 const codeBase = uint64(0x0040_0000)
 const dataBase = uint64(0x1000_0000)
 const bigBase = uint64(0x4000_0000)

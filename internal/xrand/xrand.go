@@ -12,19 +12,35 @@ type Source struct {
 	s [4]uint64
 }
 
+// splitmix64 advances the splitmix64 state by one step and returns the next
+// output (Steele, Lea & Flood; the xoshiro authors' recommended seeder).
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // New returns a Source deterministically seeded from seed using splitmix64,
 // as recommended by the xoshiro authors.
 func New(seed uint64) *Source {
 	var src Source
 	sm := seed
 	for i := range src.s {
-		sm += 0x9e3779b97f4a7c15
-		z := sm
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		src.s[i] = z ^ (z >> 31)
+		src.s[i] = splitmix64(&sm)
 	}
 	return &src
+}
+
+// Mix derives a decorrelated seed for stream i from a base seed: the result
+// is the (i+1)-th output of a splitmix64 generator seeded with seed. Unlike
+// ad-hoc XOR mixing, Mix(seed, 0) != seed, so every derived stream —
+// including stream 0 — is distinct from the base sequence, and streams are
+// pairwise distinct for any practical stream count.
+func Mix(seed, stream uint64) uint64 {
+	state := seed + stream*0x9e3779b97f4a7c15
+	return splitmix64(&state)
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
