@@ -43,6 +43,7 @@ func benchOpt() Options {
 // physical models and reports the derived relative delay of L-wires
 // (paper: 0.3).
 func BenchmarkTable2Derivation(b *testing.B) {
+	b.ReportAllocs()
 	var last map[wires.Class]wires.Params
 	for i := 0; i < b.N; i++ {
 		last = wires.DeriveParams(wires.Tech45())
@@ -55,6 +56,10 @@ func BenchmarkTable2Derivation(b *testing.B) {
 // BenchmarkFigure3 reports the AM IPC speedup from adding an L-wire layer
 // (paper: 4.2%).
 func BenchmarkFigure3(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavyweight experiment sweep")
+	}
+	b.ReportAllocs()
 	var r Figure3Result
 	for i := 0; i < b.N; i++ {
 		r = Figure3(benchOpt())
@@ -66,6 +71,10 @@ func BenchmarkFigure3(b *testing.B) {
 // BenchmarkTable3 reports the best heterogeneous ED^2 at both interconnect
 // shares (paper: 92.0 @10%, 92.1 @20%; homogeneous baselines ~100).
 func BenchmarkTable3(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavyweight experiment sweep")
+	}
+	b.ReportAllocs()
 	var r TableResult
 	for i := 0; i < b.N; i++ {
 		r = Table3(benchOpt())
@@ -78,6 +87,10 @@ func BenchmarkTable3(b *testing.B) {
 // BenchmarkTable4 reports the 16-cluster results (paper: best ED^2 88.7
 // @20%).
 func BenchmarkTable4(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavyweight experiment sweep")
+	}
+	b.ReportAllocs()
 	var r TableResult
 	for i := 0; i < b.N; i++ {
 		r = Table4(benchOpt())
@@ -88,6 +101,10 @@ func BenchmarkTable4(b *testing.B) {
 
 // BenchmarkLatencyDoubling reports the Section 1 slowdown (paper: ~12%).
 func BenchmarkLatencyDoubling(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavyweight experiment sweep")
+	}
+	b.ReportAllocs()
 	var r LatencySensitivityResult
 	for i := 0; i < b.N; i++ {
 		r = LatencySensitivity(benchOpt())
@@ -99,6 +116,10 @@ func BenchmarkLatencyDoubling(b *testing.B) {
 // 4->16 clusters, +7.1% wire-constrained L-wires, +7.4% 16-cluster
 // L-wires).
 func BenchmarkScalingStudies(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavyweight experiment sweep")
+	}
+	b.ReportAllocs()
 	var r ScalingResult
 	for i := 0; i < b.N; i++ {
 		r = ScalingStudies(benchOpt())
@@ -112,6 +133,10 @@ func BenchmarkScalingStudies(b *testing.B) {
 // false deps, 95% coverage, 2% false narrow, 14% narrow traffic, 36% PW
 // traffic, 14% contention drop).
 func BenchmarkClaims(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavyweight experiment sweep")
+	}
+	b.ReportAllocs()
 	var r ClaimsResult
 	for i := 0; i < b.N; i++ {
 		r = Claims(benchOpt())
@@ -128,6 +153,7 @@ func BenchmarkClaims(b *testing.B) {
 
 func runAblation(b *testing.B, cfg config.Config, bench string) core.Stats {
 	b.Helper()
+	b.ReportAllocs()
 	prof, _ := workload.ByName(bench)
 	var st core.Stats
 	for i := 0; i < b.N; i++ {
@@ -228,6 +254,7 @@ func BenchmarkAblationLWireCount(b *testing.B) {
 // BenchmarkSimulatorThroughput measures raw simulation speed in simulated
 // instructions per wall-clock second.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
 	prof, _ := workload.ByName("gzip")
 	const n = 100_000
 	b.ResetTimer()
@@ -239,6 +266,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 
 // BenchmarkWorkloadGenerator measures trace generation alone.
 func BenchmarkWorkloadGenerator(b *testing.B) {
+	b.ReportAllocs()
 	prof, _ := workload.ByName("gcc")
 	g := workload.NewGenerator(prof)
 	var ins trace.Instr
@@ -250,6 +278,7 @@ func BenchmarkWorkloadGenerator(b *testing.B) {
 
 // BenchmarkBranchPredictor measures the combining predictor's update path.
 func BenchmarkBranchPredictor(b *testing.B) {
+	b.ReportAllocs()
 	p := bpred.New(bpred.Config{
 		BimodalSize: 16384, L1Size: 16384, HistoryBits: 12,
 		L2Size: 16384, ChooserSize: 16384, BTBSets: 16384, BTBAssoc: 2, RASEntries: 32,
@@ -262,6 +291,7 @@ func BenchmarkBranchPredictor(b *testing.B) {
 
 // BenchmarkCacheLookup measures the L1D array model.
 func BenchmarkCacheLookup(b *testing.B) {
+	b.ReportAllocs()
 	c := cache.New(cache.Config{SizeBytes: 32 * 1024, LineBytes: 64, Assoc: 4, Latency: 6, Banks: 4, Ports: 1})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -271,6 +301,7 @@ func BenchmarkCacheLookup(b *testing.B) {
 
 // BenchmarkNoCTransfer measures one heterogeneous-link reservation.
 func BenchmarkNoCTransfer(b *testing.B) {
+	b.ReportAllocs()
 	n := noc.New(config.Default().WithModel(config.ModelX))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -280,6 +311,7 @@ func BenchmarkNoCTransfer(b *testing.B) {
 
 // BenchmarkNarrowPredictor measures the 8K-entry narrow-width predictor.
 func BenchmarkNarrowPredictor(b *testing.B) {
+	b.ReportAllocs()
 	p := narrow.NewPredictor(8192)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -291,6 +323,10 @@ func BenchmarkNarrowPredictor(b *testing.B) {
 // 5.3/7): frequent-value compaction, critical-word L2 returns, and the
 // transmission-line L plane's ED^2.
 func BenchmarkExtensions(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavyweight experiment sweep")
+	}
+	b.ReportAllocs()
 	var r ExtensionsResult
 	for i := 0; i < b.N; i++ {
 		r = Extensions(benchOpt())
@@ -319,6 +355,10 @@ func BenchmarkAblationSteering(b *testing.B) {
 // reports aggregate throughput for homogeneous versus heterogeneous wires —
 // the thread-level-parallelism case the paper motivates.
 func BenchmarkTLPThroughput(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavyweight experiment sweep")
+	}
+	b.ReportAllocs()
 	benches := []string{"gzip", "swim", "twolf", "mesa"}
 	run := func(cfg Config) float64 {
 		res, err := RunMultiprogrammed(cfg, benches, 40_000)
@@ -364,6 +404,10 @@ func BenchmarkAblationPlaneVsLinkHeterogeneity(b *testing.B) {
 // Model-I area units and reports the ED^2-optimal design (the paper's
 // Section 3 design-space question made executable).
 func BenchmarkExploreDesignSpace(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavyweight experiment sweep")
+	}
+	b.ReportAllocs()
 	var r ExploreResult
 	for i := 0; i < b.N; i++ {
 		r = ExploreArea(2.0, 0.10, benchOpt())
@@ -377,6 +421,10 @@ func BenchmarkExploreDesignSpace(b *testing.B) {
 // BenchmarkLatencySweep extends the Section 1 experiment to a curve: the
 // L-wire layer's value must grow monotonically with wire latency.
 func BenchmarkLatencySweep(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavyweight experiment sweep")
+	}
+	b.ReportAllocs()
 	var c LatencyCurve
 	for i := 0; i < b.N; i++ {
 		c = SweepLatencyScale([]int{1, 2, 4}, benchOpt())

@@ -1,0 +1,150 @@
+// Command benchreport measures simulator throughput and allocation cost over
+// a fixed scenario matrix and writes a machine-readable trajectory file, so
+// performance can be tracked across commits without hand-reading `go test
+// -bench` output.
+//
+//	benchreport                      # full matrix -> BENCH_hetwire.json
+//	benchreport -quick               # smaller instruction counts (CI smoke)
+//	benchreport -out /tmp/bench.json
+//
+// Each scenario reports instructions per wall-clock second, nanoseconds per
+// simulated instruction, and heap allocations/bytes per instruction (from
+// runtime.MemStats deltas around the run, single-threaded with GC settled
+// first). Simulated behaviour per scenario is pinned separately by the golden
+// corpus (testdata/golden); this tool tracks only cost.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"hetwire"
+	"hetwire/internal/config"
+)
+
+// Scenario identifies one measured configuration.
+type Scenario struct {
+	Model     string `json:"model"`
+	Topology  string `json:"topology"`
+	Benchmark string `json:"benchmark"`
+	N         uint64 `json:"n"`
+}
+
+// Measurement is the cost readout for one scenario.
+type Measurement struct {
+	Scenario
+	InstrsPerSec   float64 `json:"instrs_per_sec"`
+	NsPerInstr     float64 `json:"ns_per_instr"`
+	AllocsPerInstr float64 `json:"allocs_per_instr"`
+	BytesPerInstr  float64 `json:"bytes_per_instr"`
+	IPC            float64 `json:"ipc"`
+}
+
+// Report is the top-level BENCH_hetwire.json document.
+type Report struct {
+	Schema    string        `json:"schema"`
+	GoVersion string        `json:"go_version"`
+	Quick     bool          `json:"quick,omitempty"`
+	Scenarios []Measurement `json:"scenarios"`
+}
+
+var models = []struct {
+	name string
+	id   config.ModelID
+}{
+	{"I", config.ModelI},
+	{"V", config.ModelV},
+	{"VIII", config.ModelVIII},
+}
+
+var topologies = []struct {
+	name string
+	topo config.Topology
+}{
+	{"crossbar4", config.Crossbar4},
+	{"hierring16", config.HierRing16},
+}
+
+var benchmarks = []string{"gcc", "mcf", "swim"}
+
+func measure(sc Scenario, id config.ModelID, topo config.Topology) (Measurement, error) {
+	cfg := hetwire.DefaultConfig().WithModel(id)
+	cfg.Topology = topo
+
+	// Settle the heap so the MemStats delta reflects this run only.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := hetwire.RunBenchmark(cfg, sc.Benchmark, sc.N)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return Measurement{}, err
+	}
+
+	n := float64(sc.N)
+	m := Measurement{
+		Scenario:       sc,
+		InstrsPerSec:   n / elapsed.Seconds(),
+		NsPerInstr:     float64(elapsed.Nanoseconds()) / n,
+		AllocsPerInstr: float64(after.Mallocs-before.Mallocs) / n,
+		BytesPerInstr:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+		IPC:            res.IPC(),
+	}
+	return m, nil
+}
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_hetwire.json", "output file ('-' for stdout)")
+		quick = flag.Bool("quick", false, "small instruction counts (CI smoke)")
+		n     = flag.Uint64("n", 0, "override instructions per scenario (0 = default matrix)")
+	)
+	flag.Parse()
+
+	count := uint64(200_000)
+	if *quick {
+		count = 20_000
+	}
+	if *n > 0 {
+		count = *n
+	}
+
+	rep := Report{Schema: "hetwire-bench/v1", GoVersion: runtime.Version(), Quick: *quick}
+	for _, mo := range models {
+		for _, tp := range topologies {
+			for _, bench := range benchmarks {
+				sc := Scenario{Model: mo.name, Topology: tp.name, Benchmark: bench, N: count}
+				m, err := measure(sc, mo.id, tp.topo)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "benchreport: %s/%s/%s: %v\n", sc.Model, sc.Topology, sc.Benchmark, err)
+					os.Exit(1)
+				}
+				rep.Scenarios = append(rep.Scenarios, m)
+				fmt.Fprintf(os.Stderr, "%-5s %-10s %-6s n=%-7d %10.0f instrs/s %7.1f ns/instr %6.3f allocs/instr\n",
+					sc.Model, sc.Topology, sc.Benchmark, sc.N, m.InstrsPerSec, m.NsPerInstr, m.AllocsPerInstr)
+			}
+		}
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	raw = append(raw, '\n')
+	if *out == "-" {
+		os.Stdout.Write(raw)
+		return
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d scenarios)\n", *out, len(rep.Scenarios))
+}

@@ -1,0 +1,80 @@
+package hetwire
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzConfigFromJSON exercises the config-file decoder with arbitrary
+// documents. Two properties: the decoder never panics, and every accepted
+// configuration round-trips through its canonical JSON form to the same
+// ConfigHash — the invariant the serving cache's identity scheme relies on.
+func FuzzConfigFromJSON(f *testing.F) {
+	f.Add([]byte(`{"model":"I"}`))
+	f.Add([]byte(`{"model":"V","clusters":16}`))
+	f.Add([]byte(`{"model":"VIII","clusters":4,"latency_scale":2,"steering":"static-hash"}`))
+	f.Add([]byte(`{"model":"VII","link_heterogeneous":true,"ls_bits":6,` +
+		`"techniques":{"cache_pipeline":false,"pw_store_data":true},` +
+		`"core_overrides":{"rob":256,"fetch_width":4}}`))
+	f.Add([]byte(`{"model":"X","steering":"round-robin"}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"model":"XI"}`))
+	f.Add([]byte(`{"model":"I","clusters":7}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		cfg, err := ConfigFromJSON(raw)
+		if err != nil {
+			return // rejected input; only panics are failures
+		}
+		canon, err := ConfigJSON(cfg)
+		if err != nil {
+			t.Fatalf("accepted config has no canonical JSON: %v", err)
+		}
+		cfg2, err := ConfigFromJSON(canon)
+		if err != nil {
+			t.Fatalf("canonical JSON does not round-trip: %v\n%s", err, canon)
+		}
+		h1, err := ConfigHash(cfg)
+		if err != nil {
+			t.Fatalf("ConfigHash(decoded): %v", err)
+		}
+		h2, err := ConfigHash(cfg2)
+		if err != nil {
+			t.Fatalf("ConfigHash(round-tripped): %v", err)
+		}
+		if h1 != h2 {
+			t.Fatalf("round-trip changed the config identity: %s vs %s\ninput: %s", h1, h2, raw)
+		}
+	})
+}
+
+// FuzzRunRequestValidate exercises the serving API's request validation with
+// arbitrary request documents. Validate must never panic, and any request it
+// accepts must also produce a cache key (the daemon calls CacheKey right
+// after Validate; an accept/no-key split would 500 at serve time).
+func FuzzRunRequestValidate(f *testing.F) {
+	f.Add([]byte(`{"benchmark":"gcc"}`))
+	f.Add([]byte(`{"benchmark":"gzip","n":5000,"model":"V","clusters":16}`))
+	f.Add([]byte(`{"benchmarks":["gcc","mcf","swim","gzip"],"clusters":16}`))
+	f.Add([]byte(`{"benchmark":"pchase","config":{"model":"VII","clusters":4}}`))
+	f.Add([]byte(`{"benchmark":"gcc","benchmarks":["mcf"]}`))
+	f.Add([]byte(`{"benchmark":"nonexistent"}`))
+	f.Add([]byte(`{"n":1}`))
+	f.Add([]byte(`{"benchmark":"gcc","clusters":5}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var req RunRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return
+		}
+		if err := req.Validate(); err != nil {
+			return // rejected request; only panics are failures
+		}
+		key, err := req.CacheKey()
+		if err != nil {
+			t.Fatalf("validated request has no cache key: %v\nrequest: %s", err, raw)
+		}
+		key2, err := req.CacheKey()
+		if err != nil || key != key2 {
+			t.Fatalf("cache key not stable: %q vs %q (err %v)", key, key2, err)
+		}
+	})
+}

@@ -46,9 +46,11 @@ type Predictor struct {
 	l2      []counter2
 	chooser []counter2 // 0-1: use bimodal, 2-3: use two-level
 
-	btbTags [][]uint64 // [set][way], 0 = invalid
-	btbTgt  [][]uint64
-	btbLRU  [][]uint8 // higher = more recently used
+	// BTB arrays are flat, indexed set*BTBAssoc+way, so the whole table is
+	// three allocations instead of three per set.
+	btbTags []uint64 // 0 = invalid
+	btbTgt  []uint64
+	btbLRU  []uint8 // higher = more recently used
 
 	ras    []uint64
 	rasTop int
@@ -89,14 +91,9 @@ func New(cfg Config) *Predictor {
 	for i := range p.chooser {
 		p.chooser[i] = 1 // slight initial bias towards bimodal
 	}
-	p.btbTags = make([][]uint64, cfg.BTBSets)
-	p.btbTgt = make([][]uint64, cfg.BTBSets)
-	p.btbLRU = make([][]uint8, cfg.BTBSets)
-	for i := range p.btbTags {
-		p.btbTags[i] = make([]uint64, cfg.BTBAssoc)
-		p.btbTgt[i] = make([]uint64, cfg.BTBAssoc)
-		p.btbLRU[i] = make([]uint8, cfg.BTBAssoc)
-	}
+	p.btbTags = make([]uint64, cfg.BTBSets*cfg.BTBAssoc)
+	p.btbTgt = make([]uint64, cfg.BTBSets*cfg.BTBAssoc)
+	p.btbLRU = make([]uint8, cfg.BTBSets*cfg.BTBAssoc)
 	return p
 }
 
@@ -170,12 +167,12 @@ func (p *Predictor) btbSet(pc uint64) int { return int((pc >> 2) & uint64(p.cfg.
 // LookupTarget returns the BTB-predicted target for a taken branch at pc,
 // and whether the BTB hit.
 func (p *Predictor) LookupTarget(pc uint64) (uint64, bool) {
-	set := p.btbSet(pc)
+	base := p.btbSet(pc) * p.cfg.BTBAssoc
 	tag := p.btbTag(pc)
-	for w, wtag := range p.btbTags[set] {
-		if wtag == tag {
-			p.touchBTB(set, w)
-			return p.btbTgt[set][w], true
+	for w := 0; w < p.cfg.BTBAssoc; w++ {
+		if p.btbTags[base+w] == tag {
+			p.touchBTB(base, w)
+			return p.btbTgt[base+w], true
 		}
 	}
 	p.BTBMisses++
@@ -184,31 +181,32 @@ func (p *Predictor) LookupTarget(pc uint64) (uint64, bool) {
 
 // UpdateTarget installs or refreshes the target for a taken branch.
 func (p *Predictor) UpdateTarget(pc, target uint64) {
-	set := p.btbSet(pc)
+	base := p.btbSet(pc) * p.cfg.BTBAssoc
 	tag := p.btbTag(pc)
 	victim := 0
-	for w, wtag := range p.btbTags[set] {
-		if wtag == tag {
-			p.btbTgt[set][w] = target
-			p.touchBTB(set, w)
+	for w := 0; w < p.cfg.BTBAssoc; w++ {
+		if p.btbTags[base+w] == tag {
+			p.btbTgt[base+w] = target
+			p.touchBTB(base, w)
 			return
 		}
-		if p.btbLRU[set][w] < p.btbLRU[set][victim] {
+		if p.btbLRU[base+w] < p.btbLRU[base+victim] {
 			victim = w
 		}
 	}
-	p.btbTags[set][victim] = tag
-	p.btbTgt[set][victim] = target
-	p.touchBTB(set, victim)
+	p.btbTags[base+victim] = tag
+	p.btbTgt[base+victim] = target
+	p.touchBTB(base, victim)
 }
 
-func (p *Predictor) touchBTB(set, way int) {
-	for w := range p.btbLRU[set] {
-		if p.btbLRU[set][w] > 0 {
-			p.btbLRU[set][w]--
+// touchBTB takes the set's base offset (set*BTBAssoc), not the set number.
+func (p *Predictor) touchBTB(base, way int) {
+	for w := 0; w < p.cfg.BTBAssoc; w++ {
+		if p.btbLRU[base+w] > 0 {
+			p.btbLRU[base+w]--
 		}
 	}
-	p.btbLRU[set][way] = uint8(p.cfg.BTBAssoc)
+	p.btbLRU[base+way] = uint8(p.cfg.BTBAssoc)
 }
 
 // PushRAS records a call's return address.

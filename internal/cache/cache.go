@@ -23,10 +23,12 @@ type Config struct {
 // Cache is a set-associative cache with true-LRU replacement and
 // word-interleaved bank/port timing. Not safe for concurrent use.
 type Cache struct {
-	cfg      Config
-	sets     int
-	tags     [][]uint64 // [set][way]; 0 = invalid
-	lru      [][]uint32 // larger = more recent
+	cfg  Config
+	sets int
+	// tags/lru are flat arrays indexed set*Assoc+way, so a 16K-set L2 is two
+	// allocations instead of two per set.
+	tags     []uint64 // 0 = invalid
+	lru      []uint32 // larger = more recent
 	lruClock uint32
 	banks    []*sched.Calendar
 
@@ -50,12 +52,8 @@ func New(cfg Config) *Cache {
 		cfg.Ports = 1
 	}
 	c := &Cache{cfg: cfg, sets: sets}
-	c.tags = make([][]uint64, sets)
-	c.lru = make([][]uint32, sets)
-	for i := range c.tags {
-		c.tags[i] = make([]uint64, cfg.Assoc)
-		c.lru[i] = make([]uint32, cfg.Assoc)
-	}
+	c.tags = make([]uint64, sets*cfg.Assoc)
+	c.lru = make([]uint32, sets*cfg.Assoc)
 	c.banks = make([]*sched.Calendar, cfg.Banks)
 	for i := range c.banks {
 		c.banks[i] = sched.NewCalendar(cfg.Ports, sched.DefaultWindow)
@@ -77,30 +75,32 @@ func (c *Cache) index(addr uint64) (set int, tag uint64) {
 func (c *Cache) Lookup(addr uint64) bool {
 	c.Accesses++
 	set, tag := c.index(addr)
+	base := set * c.cfg.Assoc
 	c.lruClock++
-	for w, wtag := range c.tags[set] {
-		if wtag == tag {
-			c.lru[set][w] = c.lruClock
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.tags[base+w] == tag {
+			c.lru[base+w] = c.lruClock
 			return true
 		}
 	}
 	c.Misses++
 	victim := 0
 	for w := 1; w < c.cfg.Assoc; w++ {
-		if c.lru[set][w] < c.lru[set][victim] {
+		if c.lru[base+w] < c.lru[base+victim] {
 			victim = w
 		}
 	}
-	c.tags[set][victim] = tag
-	c.lru[set][victim] = c.lruClock
+	c.tags[base+victim] = tag
+	c.lru[base+victim] = c.lruClock
 	return false
 }
 
 // Probe checks for presence without changing any state.
 func (c *Cache) Probe(addr uint64) bool {
 	set, tag := c.index(addr)
-	for _, wtag := range c.tags[set] {
-		if wtag == tag {
+	base := set * c.cfg.Assoc
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.tags[base+w] == tag {
 			return true
 		}
 	}

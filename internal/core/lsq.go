@@ -41,6 +41,11 @@ func (l *lsqState) partial(addr uint64) uint64 { return word(addr) & l.lsMask }
 // prune drops stores that left the LSQ well before the given time. The
 // generous margin keeps pruning safe even though out-of-order address
 // generation makes arrival times only roughly monotone.
+//
+// Stores arrive in program order with commit times granted by the commit
+// calendar under monotone requests, so l.stores is sorted by commitAt and the
+// expired entries form a prefix: scan until the first survivor instead of
+// filtering the whole queue on every store dispatch.
 func (l *lsqState) prune(before uint64) {
 	const margin = 2048
 	if before < margin {
@@ -48,13 +53,12 @@ func (l *lsqState) prune(before uint64) {
 	}
 	cutoff := before - margin
 	i := 0
-	for _, st := range l.stores {
-		if st.commitAt > cutoff {
-			l.stores[i] = st
-			i++
-		}
+	for i < len(l.stores) && l.stores[i].commitAt <= cutoff {
+		i++
 	}
-	l.stores = l.stores[:i]
+	if i > 0 {
+		l.stores = l.stores[:copy(l.stores, l.stores[i:])]
+	}
 }
 
 // addStore registers an in-flight store. Stores are added in program order.

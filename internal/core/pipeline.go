@@ -267,9 +267,7 @@ func (p *Processor) step(ins *trace.Instr) {
 		rs.value = ins.Value
 		rs.narrow = isNarrow
 		rs.predNarrow = pred
-		for i := range rs.arrived {
-			rs.arrived[i] = 0
-		}
+		rs.arrived = [maxClusters]uint64{}
 	}
 }
 

@@ -52,6 +52,11 @@ func fuFor(op trace.Op) fuKind {
 	}
 }
 
+// maxClusters is the largest cluster count any topology provides (the
+// 16-cluster hierarchical ring); fixed-size per-register arrays are sized by
+// it so renaming allocates nothing per register.
+const maxClusters = 16
+
 // regState tracks the current architectural-register mapping: which cluster
 // holds the value, when it is ready there, and whether it is narrow.
 type regState struct {
@@ -64,7 +69,7 @@ type regState struct {
 	predNarrow bool
 	// arrived caches per-cluster delivery times of this value so multiple
 	// consumers in one cluster share a single copy transfer.
-	arrived []uint64 // 0 = not transferred yet
+	arrived [maxClusters]uint64 // 0 = not transferred yet
 }
 
 // cluster bundles one cluster's resources.
@@ -116,6 +121,11 @@ type Processor struct {
 	lsq *lsqState
 
 	steerRR int // round-robin tiebreaker for steering
+
+	// steerW is the per-call cluster-weight scratch buffer of the dynamic
+	// steering heuristic; reused across instructions so steering allocates
+	// nothing on the hot path.
+	steerW [maxClusters]int
 
 	// allowed restricts steering to a cluster subset (multiprogrammed
 	// threads); nil means all clusters. all caches the full index list.
@@ -213,6 +223,9 @@ func New(cfg config.Config) *Processor {
 	if err := cfg.Validate(); err != nil {
 		panic("core: " + err.Error())
 	}
+	if cfg.Topology.Clusters() > maxClusters {
+		panic("core: topology exceeds maxClusters")
+	}
 	c := cfg.Core
 	p := &Processor{
 		cfg:       cfg,
@@ -259,7 +272,7 @@ func New(cfg config.Config) *Processor {
 		p.clusters[i] = cl
 	}
 	for r := range p.regs {
-		p.regs[r] = regState{cluster: r % p.nClusters, ready: 0, arrived: make([]uint64, p.nClusters)}
+		p.regs[r] = regState{cluster: r % p.nClusters}
 	}
 	return p
 }

@@ -42,13 +42,16 @@ func (p *Processor) steer(ins *trace.Instr, at uint64) int {
 	}
 
 	cands := p.candidateClusters()
-	weights := make([]int, p.nClusters)
+	weights := p.steerW[:p.nClusters]
+	for i := range weights {
+		weights[i] = 0
+	}
 
 	// Operand-producer weights, with a criticality bonus for the
 	// latest-ready operand.
 	var critCluster = -1
 	var critReady uint64
-	for _, src := range []int16{ins.Src1, ins.Src2} {
+	for _, src := range [2]int16{ins.Src1, ins.Src2} {
 		if src == trace.NoReg {
 			continue
 		}
@@ -111,10 +114,11 @@ func (p *Processor) steer(ins *trace.Instr, at uint64) int {
 		}
 	}
 	for d := 1; d < len(cands); d++ {
-		for _, c := range []int{cands[(pos+d)%len(cands)], cands[(pos-d+len(cands))%len(cands)]} {
-			if p.hasResources(c, ins, at) {
-				return c
-			}
+		if c := cands[(pos+d)%len(cands)]; p.hasResources(c, ins, at) {
+			return c
+		}
+		if c := cands[(pos-d+len(cands))%len(cands)]; p.hasResources(c, ins, at) {
+			return c
 		}
 	}
 	return best

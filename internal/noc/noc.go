@@ -158,6 +158,16 @@ type Network struct {
 	recentB  []uint64
 	recentPW []uint64
 
+	// routes caches the route between every pair of endpoints, indexed by
+	// nodeIdx (clusters 0..clusters-1, cache at index clusters). Routes are
+	// static for a topology, and precomputing them keeps ring-path segment
+	// slices off the per-Transfer hot path.
+	routes [][]route
+
+	// allLinks lists every link once, for whole-network sweeps
+	// (CalendarClamps, LinkInventory).
+	allLinks []*link
+
 	Stats [3]ClassStats // indexed by classIdx
 }
 
@@ -185,7 +195,36 @@ func New(cfg config.Config) *Network {
 			n.ringCCW[i] = newLink(spec)
 		}
 	}
+	n.routes = make([][]route, n.clusters+1)
+	for a := 0; a <= n.clusters; a++ {
+		n.routes[a] = make([]route, n.clusters+1)
+		for b := 0; b <= n.clusters; b++ {
+			n.routes[a][b] = n.buildRoute(n.nodeAt(a), n.nodeAt(b))
+		}
+	}
+	n.allLinks = append(n.allLinks, n.cacheOut, n.cacheIn)
+	n.allLinks = append(n.allLinks, n.clusterOut...)
+	n.allLinks = append(n.allLinks, n.clusterIn...)
+	n.allLinks = append(n.allLinks, n.ringCW...)
+	n.allLinks = append(n.allLinks, n.ringCCW...)
 	return n
+}
+
+// nodeIdx maps an endpoint into the route table: cluster i at index i, the
+// cache node at index clusters.
+func (n *Network) nodeIdx(nd Node) int {
+	if nd.Kind == CacheNode {
+		return n.clusters
+	}
+	return nd.Index
+}
+
+// nodeAt is the inverse of nodeIdx.
+func (n *Network) nodeAt(i int) Node {
+	if i == n.clusters {
+		return Cache
+	}
+	return Cluster(i)
 }
 
 // HasClass reports whether the interconnect provides the class.
@@ -235,6 +274,12 @@ type route struct {
 }
 
 func (n *Network) routeFor(from, to Node) route {
+	return n.routes[n.nodeIdx(from)][n.nodeIdx(to)]
+}
+
+// buildRoute computes a route from scratch; used once per endpoint pair at
+// construction to fill the route table.
+func (n *Network) buildRoute(from, to Node) route {
 	r := route{lengthUnits: 1}
 	switch {
 	case from.Kind == CacheNode:
@@ -394,11 +439,7 @@ func (n *Network) PreferPW(now uint64) bool {
 // approximated; integration tests assert it stays zero.
 func (n *Network) CalendarClamps() uint64 {
 	var sum uint64
-	links := append([]*link{n.cacheOut, n.cacheIn}, n.clusterOut...)
-	links = append(links, n.clusterIn...)
-	links = append(links, n.ringCW...)
-	links = append(links, n.ringCCW...)
-	for _, l := range links {
+	for _, l := range n.allLinks {
 		for _, cal := range l.cal {
 			if cal != nil {
 				sum += cal.Clamped

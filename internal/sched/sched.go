@@ -13,7 +13,8 @@ package sched
 // use.
 type Calendar struct {
 	capacity uint16
-	counts   []uint16 // ring buffer of per-cycle reservation counts
+	counts   []uint16 // ring buffer of per-cycle reservation counts; len is a power of two
+	mask     uint64   // len(counts) - 1
 	base     uint64   // cycle number of ring index baseIdx
 	baseIdx  int
 	// Clamped counts reservations requested before the sliding window's
@@ -31,7 +32,8 @@ type Calendar struct {
 const DefaultWindow = 1 << 16
 
 // NewCalendar creates a calendar with the given per-cycle capacity and
-// window size (rounded up to a minimum of 1024 cycles).
+// window size (rounded up to a minimum of 1024 cycles and to the next power
+// of two, so ring indexing is a mask instead of a division).
 func NewCalendar(capacity, window int) *Calendar {
 	if capacity <= 0 {
 		panic("sched: calendar capacity must be positive")
@@ -39,9 +41,17 @@ func NewCalendar(capacity, window int) *Calendar {
 	if window < 1024 {
 		window = 1024
 	}
+	// Round up to a power of two. The window size is behaviour-neutral:
+	// reservation results depend only on the booked counts, which are
+	// identical for any window large enough to avoid clamping.
+	w := 1024
+	for w < window {
+		w <<= 1
+	}
 	return &Calendar{
 		capacity: uint16(capacity),
-		counts:   make([]uint16, window),
+		counts:   make([]uint16, w),
+		mask:     uint64(w - 1),
 	}
 }
 
@@ -57,30 +67,25 @@ func (c *Calendar) slideTo(cycle uint64) {
 	advance := cycle - limit + uint64(len(c.counts))/4 + 1
 	if advance > uint64(len(c.counts)) {
 		// Jumped far beyond the window: reset everything.
-		for i := range c.counts {
-			c.counts[i] = 0
-		}
+		clear(c.counts)
 		c.base = cycle
 		c.baseIdx = 0
 		return
 	}
-	for i := uint64(0); i < advance; i++ {
-		c.counts[c.baseIdx] = 0
-		c.baseIdx++
-		if c.baseIdx == len(c.counts) {
-			c.baseIdx = 0
-		}
+	// Zero the cells leaving the window in (at most) two contiguous chunks.
+	end := c.baseIdx + int(advance)
+	if end <= len(c.counts) {
+		clear(c.counts[c.baseIdx:end])
+	} else {
+		clear(c.counts[c.baseIdx:])
+		clear(c.counts[:end-len(c.counts)])
 	}
+	c.baseIdx = int(uint64(end) & c.mask)
 	c.base += advance
 }
 
 func (c *Calendar) idx(cycle uint64) int {
-	off := int(cycle - c.base)
-	i := c.baseIdx + off
-	if i >= len(c.counts) {
-		i -= len(c.counts)
-	}
-	return i
+	return int((uint64(c.baseIdx) + (cycle - c.base)) & c.mask)
 }
 
 // Reserve books one unit of capacity at the earliest cycle >= at and returns
@@ -92,15 +97,22 @@ func (c *Calendar) Reserve(at uint64) uint64 {
 		c.Clamped++
 	}
 	c.slideTo(at)
+	i := uint64(c.idx(at))
+	limit := c.base + uint64(len(c.counts))
 	for {
-		i := c.idx(at)
 		if c.counts[i] < c.capacity {
 			c.counts[i]++
 			c.Reservations++
 			return at
 		}
 		at++
-		c.slideTo(at)
+		if at >= limit {
+			c.slideTo(at)
+			i = uint64(c.idx(at))
+			limit = c.base + uint64(len(c.counts))
+			continue
+		}
+		i = (i + 1) & c.mask
 	}
 }
 
@@ -139,12 +151,20 @@ func (c *Calendar) Peek(at uint64) uint64 {
 		at = c.base
 	}
 	c.slideTo(at)
+	i := uint64(c.idx(at))
+	limit := c.base + uint64(len(c.counts))
 	for {
-		if c.counts[c.idx(at)] < c.capacity {
+		if c.counts[i] < c.capacity {
 			return at
 		}
 		at++
-		c.slideTo(at)
+		if at >= limit {
+			c.slideTo(at)
+			i = uint64(c.idx(at))
+			limit = c.base + uint64(len(c.counts))
+			continue
+		}
+		i = (i + 1) & c.mask
 	}
 }
 
@@ -162,6 +182,13 @@ func (c *Calendar) Load(cycle uint64) int {
 // release time (issue-queue entries held until issue, rename registers held
 // until commit). Acquire returns the earliest cycle at which a slot is
 // guaranteed free given the request time.
+//
+// Query times must be non-decreasing: Acquire and Free lazily expire
+// occupants whose release time has passed, so a query at cycle t discards
+// state that an earlier-cycle query could still observe. Every pipeline
+// resource satisfies this naturally (requests are issued along a monotone
+// dispatch frontier); the expiry makes both operations O(1) amortized
+// instead of an O(slots) scan per call.
 type Heap struct {
 	release []uint64
 	size    int
@@ -175,17 +202,22 @@ func NewHeap(slots int) *Heap {
 	return &Heap{release: make([]uint64, 0, slots), size: slots}
 }
 
+// expire drops occupants whose slots are free at cycle now.
+func (h *Heap) expire(now uint64) {
+	for len(h.release) > 0 && h.release[0] <= now {
+		h.popMin()
+	}
+}
+
 // Acquire requests a slot at cycle `at`; it returns the earliest cycle >= at
 // when a slot is free. The caller must then call Commit with the slot's
 // release time.
 func (h *Heap) Acquire(at uint64) uint64 {
+	h.expire(at)
 	if len(h.release) < h.size {
 		return at
 	}
-	if min := h.release[0]; min > at {
-		return min
-	}
-	return at
+	return h.release[0]
 }
 
 // Commit records that the slot acquired most recently will be held until
@@ -201,13 +233,8 @@ func (h *Heap) Commit(release uint64) {
 // Free returns the number of currently unused slots assuming the given
 // current cycle (entries with release <= now are free).
 func (h *Heap) Free(now uint64) int {
-	used := 0
-	for _, r := range h.release {
-		if r > now {
-			used++
-		}
-	}
-	return h.size - used
+	h.expire(now)
+	return h.size - len(h.release)
 }
 
 // Size returns the pool size.

@@ -148,14 +148,79 @@ func TestHeapFree(t *testing.T) {
 	h := NewHeap(4)
 	h.Commit(10)
 	h.Commit(20)
+	if f := h.Free(5); f != 2 { // both slots still held at cycle 5
+		t.Errorf("Free(5) = %d, want 2", f)
+	}
 	if f := h.Free(15); f != 3 { // the release-10 slot is free again
 		t.Errorf("Free(15) = %d, want 3", f)
 	}
-	if f := h.Free(5); f != 2 {
-		t.Errorf("Free(5) = %d, want 2", f)
+	if f := h.Free(25); f != 4 { // everything released
+		t.Errorf("Free(25) = %d, want 4", f)
 	}
 	if h.Size() != 4 {
 		t.Errorf("Size = %d, want 4", h.Size())
+	}
+}
+
+// TestHeapLazyExpiryMatchesScan cross-checks the lazy-expiry fast path
+// against a straightforward scan model under monotone query times (the
+// documented Heap contract).
+func TestHeapLazyExpiryMatchesScan(t *testing.T) {
+	h := NewHeap(3)
+	type model struct{ release []uint64 }
+	m := model{}
+	free := func(now uint64) int {
+		used := 0
+		for _, r := range m.release {
+			if r > now {
+				used++
+			}
+		}
+		return 3 - used
+	}
+	now := uint64(0)
+	rng := uint64(12345)
+	for i := 0; i < 2000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		now += rng % 3
+		if gotAt, wantFree := h.Acquire(now), free(now); wantFree == 0 {
+			// Full: the model's earliest release bounds the grant.
+			min := m.release[0]
+			for _, r := range m.release {
+				if r < min {
+					min = r
+				}
+			}
+			if want := max(min, now); gotAt != want {
+				t.Fatalf("step %d: Acquire(%d) = %d, want %d", i, now, gotAt, want)
+			}
+		} else if gotAt != now {
+			t.Fatalf("step %d: Acquire(%d) = %d, want immediate", i, now, gotAt)
+		}
+		rel := now + 1 + rng%7
+		h.Commit(rel)
+		// Model commit: evict entries the heap would consider expired or,
+		// when full, the earliest release.
+		keep := m.release[:0]
+		for _, r := range m.release {
+			if r > now {
+				keep = append(keep, r)
+			}
+		}
+		m.release = keep
+		if len(m.release) == 3 {
+			minI := 0
+			for j, r := range m.release {
+				if r < m.release[minI] {
+					minI = j
+				}
+			}
+			m.release = append(m.release[:minI], m.release[minI+1:]...)
+		}
+		m.release = append(m.release, rel)
+		if got, want := h.Free(now), free(now); got != want {
+			t.Fatalf("step %d: Free(%d) = %d, want %d", i, now, got, want)
+		}
 	}
 }
 

@@ -152,9 +152,11 @@ func (m *Metrics) renderEndpoints(w io.Writer) {
 	}
 
 	fmt.Fprintf(w, "# HELP hetwired_http_request_duration_seconds Request latency, by route.\n# TYPE hetwired_http_request_duration_seconds histogram\n")
+	cumBuf := make([]stats.CumBucket, 0, latBuckets+1)
 	for _, r := range routes {
 		ep := m.endpoints[r]
-		for _, b := range ep.latency.Cumulative() {
+		cumBuf = ep.latency.AppendCumulative(cumBuf[:0])
+		for _, b := range cumBuf {
 			if b.Inf {
 				fmt.Fprintf(w, "hetwired_http_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r, b.Count)
 				continue

@@ -552,10 +552,10 @@ func TestValidationErrors(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 1})
 	cases := []map[string]any{
 		{"benchmark": "no-such-benchmark", "n": 1000},
-		{"n": 1000},                                                      // no workload
-		{"benchmark": "gzip", "benchmarks": []string{"gcc"}, "n": 1000},  // both
-		{"benchmark": "gzip", "model": "XI", "n": 1000},                  // bad model
-		{"benchmark": "gzip", "clusters": 7, "n": 1000},                  // bad clusters
+		{"n": 1000}, // no workload
+		{"benchmark": "gzip", "benchmarks": []string{"gcc"}, "n": 1000}, // both
+		{"benchmark": "gzip", "model": "XI", "n": 1000},                 // bad model
+		{"benchmark": "gzip", "clusters": 7, "n": 1000},                 // bad clusters
 		{"sweep": map[string]any{"models": []string{}, "benchmarks": []string{"gzip"}}},
 	}
 	for i, c := range cases {
@@ -594,6 +594,158 @@ func TestCatalogAndHealth(t *testing.T) {
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// --- concurrency stress ---
+
+// TestConcurrentSubmitPollCancelStress hammers a 2-worker daemon with
+// concurrent submitters, status pollers, job-list readers, cancellers and
+// metrics scrapes, then drains while pollers are still running. Its value is
+// under `go test -race` (which CI runs for the whole package): any unlocked
+// shared state in the queue, job table, cache or metrics registry shows up
+// here.
+func TestConcurrentSubmitPollCancelStress(t *testing.T) {
+	s := New(Options{Workers: 2, QueueDepth: 128})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var mu sync.Mutex
+	var ids []string
+	addID := func(id string) { mu.Lock(); ids = append(ids, id); mu.Unlock() }
+	snapshot := func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), ids...)
+	}
+
+	// post submits without test helpers so it is safe from any goroutine
+	// (only Errorf, never FailNow, off the test goroutine).
+	post := func(body map[string]any) (int, JobStatus) {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Errorf("marshal: %v", err)
+			return 0, JobStatus{}
+		}
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Errorf("submit: %v", err)
+			return 0, JobStatus{}
+		}
+		defer resp.Body.Close()
+		var st JobStatus
+		_ = json.NewDecoder(resp.Body).Decode(&st)
+		return resp.StatusCode, st
+	}
+
+	stopPolling := make(chan struct{})
+	var pollers sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		pollers.Add(1)
+		go func() {
+			defer pollers.Done()
+			for {
+				select {
+				case <-stopPolling:
+					return
+				default:
+				}
+				for _, id := range snapshot() {
+					if resp, err := http.Get(ts.URL + "/v1/jobs/" + id); err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}
+				for _, path := range []string{"/v1/jobs", "/v1/jobs?state=done", "/metrics", "/healthz"} {
+					if resp, err := http.Get(ts.URL + path); err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}
+			}
+		}()
+	}
+
+	// Cancellers chase the submitters, cancelling every third accepted job.
+	// Cancellation racing completion is fine — both end terminal.
+	stopCancel := make(chan struct{})
+	var cancellers sync.WaitGroup
+	cancellers.Add(1)
+	go func() {
+		defer cancellers.Done()
+		seen := 0
+		for {
+			for _, id := range snapshot()[seen:] {
+				seen++
+				if seen%3 != 0 {
+					continue
+				}
+				req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+				if resp, err := http.DefaultClient.Do(req); err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+			select {
+			case <-stopCancel:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+
+	benches := []string{"gzip", "gcc", "mcf", "swim"}
+	var submitters sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		submitters.Add(1)
+		go func(g int) {
+			defer submitters.Done()
+			for i := 0; i < 8; i++ {
+				if i%4 == 3 {
+					// Invalid request: must be rejected, never occupy a worker.
+					if code, _ := post(map[string]any{"benchmark": "no-such-benchmark", "n": 1000}); code != http.StatusBadRequest {
+						t.Errorf("invalid submit = %d, want 400", code)
+					}
+					continue
+				}
+				code, st := post(map[string]any{
+					"benchmark": benches[(g+i)%len(benches)],
+					"n":         2000 + 500*i + 16000*g, // distinct budgets defeat the result cache
+				})
+				switch code {
+				case http.StatusAccepted:
+					addID(st.ID)
+				case http.StatusServiceUnavailable:
+					// Queue full under pressure: acceptable backpressure.
+				default:
+					t.Errorf("submit status = %d", code)
+				}
+			}
+		}(g)
+	}
+
+	submitters.Wait()
+	close(stopCancel)
+	cancellers.Wait()
+
+	// Drain while the pollers are still hitting every endpoint.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain under load: %v", err)
+	}
+	close(stopPolling)
+	pollers.Wait()
+
+	accepted := snapshot()
+	if len(accepted) == 0 {
+		t.Fatal("no jobs accepted; stress exercised nothing")
+	}
+	for _, id := range accepted {
+		st := waitTerminal(t, ts.URL, id, 5*time.Second)
+		if st.State != StateDone && st.State != StateCancelled {
+			t.Errorf("job %s ended as %s: %s", id, st.State, st.Error)
 		}
 	}
 }

@@ -144,14 +144,19 @@ type CumBucket struct {
 // Together with Sum and Count this is everything a Prometheus histogram
 // exposition needs.
 func (h *Histogram) Cumulative() []CumBucket {
-	out := make([]CumBucket, 0, len(h.Buckets)+1)
+	return h.AppendCumulative(make([]CumBucket, 0, len(h.Buckets)+1))
+}
+
+// AppendCumulative appends the cumulative buckets to dst and returns the
+// extended slice, so periodic exporters (metrics scrapes) can reuse one
+// buffer instead of allocating per call.
+func (h *Histogram) AppendCumulative(dst []CumBucket) []CumBucket {
 	var cum uint64
 	for i, b := range h.Buckets {
 		cum += b
-		out = append(out, CumBucket{UpperBound: uint64(i+1)*h.Width - 1, Count: cum})
+		dst = append(dst, CumBucket{UpperBound: uint64(i+1)*h.Width - 1, Count: cum})
 	}
-	out = append(out, CumBucket{Inf: true, Count: h.Count})
-	return out
+	return append(dst, CumBucket{Inf: true, Count: h.Count})
 }
 
 // Merge adds the samples of other into h. The histograms must have the same

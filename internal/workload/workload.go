@@ -209,6 +209,7 @@ func (g *Generator) build() {
 	pLoad := p.FracLoad / bodyFrac
 	pStore := p.FracStore / bodyFrac
 	var loadAcc, storeAcc float64
+	ops := make([]trace.Op, 0, avgLen+4) // scratch, reused across blocks
 
 	for b := 0; b < nBlocks; b++ {
 		// Block length jitters around the average.
@@ -221,7 +222,7 @@ func (g *Generator) build() {
 		// share of loads and stores (with fractional carry across blocks),
 		// so dynamically hot loop blocks cannot skew the instruction mix.
 		body := n - 1
-		ops := make([]trace.Op, 0, body)
+		ops = ops[:0]
 		loadAcc += pLoad * float64(body)
 		storeAcc += pStore * float64(body)
 		nLoads := int(loadAcc)
@@ -259,6 +260,7 @@ func (g *Generator) build() {
 			j := g.src.Intn(i + 1)
 			ops[i], ops[j] = ops[j], ops[i]
 		}
+		blk.instrs = make([]staticInstr, 0, n)
 		for _, op := range ops {
 			si := staticInstr{op: op, memID: -1}
 			if op.IsMem() {

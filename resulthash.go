@@ -1,0 +1,41 @@
+package hetwire
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// ResultHash returns a canonical hex digest of a simulation result: the
+// SHA-256 of the result's benchmark label and complete statistics readout in
+// a fixed serialization. Simulations are deterministic, so two runs of the
+// same (configuration, workload, instruction count) must produce equal
+// hashes — on any platform, through any code path (library, daemon, CLI),
+// before and after any optimization of the simulator internals.
+//
+// The hash covers every counter, rate, histogrammed network statistic, and
+// latency-breakdown sum in Stats. It deliberately does not cover the
+// configuration (fixtures and caches key on the configuration separately,
+// via ConfigHash); it pins the *behaviour* a configuration produced.
+//
+// The golden corpus under testdata/golden/ pins ResultHash values for a
+// matrix of configurations and workloads; TestGoldenCorpus regenerates and
+// compares them, so any change to simulated behaviour — intended or not —
+// fails loudly and must be acknowledged by refreshing the fixtures.
+func ResultHash(r Result) string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	// A struct literal fixes field order; json encodes map keys (the link
+	// inventory) in sorted order and floats in their shortest round-trip
+	// form, so the byte stream is canonical.
+	err := enc.Encode(struct {
+		Benchmark string
+		Stats     Stats
+	}{r.Benchmark, r.Stats})
+	if err != nil {
+		// Stats contains only integers, floats and maps of them; encoding
+		// cannot fail.
+		panic("hetwire: ResultHash encode: " + err.Error())
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
