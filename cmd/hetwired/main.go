@@ -5,10 +5,20 @@
 //
 //	hetwired -addr :8677 -workers 8 -cache-mb 128
 //
-// Submit work:
+// Submit work (raw HTTP, or the built-in fault-tolerant client mode):
 //
 //	curl -s localhost:8677/v1/run -d '{"benchmark":"gcc","model":"VII","n":100000}'
 //	curl -s localhost:8677/v1/jobs -d '{"sweep":{"models":["I","VII"],"benchmarks":["gzip","mcf"],"ns":[100000]}}'
+//	hetwired run -server http://localhost:8677 -bench gcc -model VII -n 100000
+//
+// The client mode submits idempotently (retried submits land on the same
+// job), backs off exponentially honoring Retry-After on 429, and trips a
+// circuit breaker when the daemon stays unreachable.
+//
+// Fault injection for chaos testing is enabled with -faults or the
+// HETWIRE_FAULTS environment variable, e.g.
+//
+//	HETWIRE_FAULTS='seed=7,panic=0.05,slow=0.2,slowms=40,cancel=0.05,corrupt=0.1' hetwired
 //
 // SIGTERM or SIGINT drains gracefully: intake stops, queued jobs finish
 // (up to -drain-timeout), then the process exits.
@@ -16,6 +26,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -26,30 +37,55 @@ import (
 	"syscall"
 	"time"
 
+	"hetwire"
+	"hetwire/internal/client"
+	"hetwire/internal/faultinject"
 	"hetwire/internal/server"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "run" {
+		runClient(os.Args[2:])
+		return
+	}
+	serve(os.Args[1:])
+}
+
+func serve(args []string) {
+	fs := flag.NewFlagSet("hetwired", flag.ExitOnError)
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8677", "listen address (host:port; port 0 picks a free port)")
-		workers    = flag.Int("workers", 4, "simulation worker-pool size")
-		queueDepth = flag.Int("queue", 64, "job queue depth (submissions beyond it get 503)")
-		cacheMB    = flag.Int64("cache-mb", 64, "result-cache budget in MiB")
-		drainT     = flag.Duration("drain-timeout", 30*time.Second, "how long to let jobs finish on SIGTERM")
-		quiet      = flag.Bool("quiet", false, "suppress per-request logging")
+		addr       = fs.String("addr", "127.0.0.1:8677", "listen address (host:port; port 0 picks a free port)")
+		workers    = fs.Int("workers", 4, "simulation worker-pool size")
+		queueDepth = fs.Int("queue", 64, "job queue depth (submissions beyond it get 429 + Retry-After)")
+		cacheMB    = fs.Int64("cache-mb", 64, "result-cache budget in MiB")
+		deadline   = fs.Duration("deadline", 2*time.Minute, "default per-job wall-clock deadline (0 keeps the server default)")
+		maxDL      = fs.Duration("max-deadline", 10*time.Minute, "cap on per-request deadline overrides")
+		faults     = fs.String("faults", os.Getenv("HETWIRE_FAULTS"), "fault-injection spec (default $HETWIRE_FAULTS; empty = none)")
+		drainT     = fs.Duration("drain-timeout", 30*time.Second, "how long to let jobs finish on SIGTERM")
+		quiet      = fs.Bool("quiet", false, "suppress per-request logging")
 	)
-	flag.Parse()
+	fs.Parse(args)
 
 	logger := log.New(os.Stderr, "hetwired ", log.LstdFlags|log.Lmicroseconds)
 	reqLogger := logger
 	if *quiet {
 		reqLogger = nil
 	}
+	injector, err := faultinject.Parse(*faults)
+	if err != nil {
+		logger.Fatalf("parsing -faults: %v", err)
+	}
+	if injector != nil {
+		logger.Printf("fault injection active: %s", injector)
+	}
 	srv := server.New(server.Options{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		CacheBytes: *cacheMB << 20,
-		Logger:     reqLogger,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CacheBytes:      *cacheMB << 20,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDL,
+		Faults:          injector,
+		Logger:          reqLogger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -87,4 +123,50 @@ func main() {
 	logger.Printf("drained: cache served %d hits, %d coalesced, %d misses (ratio %.2f)",
 		cs.Hits, cs.Coalesced, cs.Misses, cs.HitRatio())
 	fmt.Println("hetwired: drained, exiting")
+}
+
+// runClient is the fault-tolerant client mode: submit one run idempotently,
+// await the job through retries and backoff, and print the result JSON.
+func runClient(args []string) {
+	fs := flag.NewFlagSet("hetwired run", flag.ExitOnError)
+	var (
+		serverURL  = fs.String("server", "http://127.0.0.1:8677", "daemon base URL")
+		bench      = fs.String("bench", "", "benchmark or kernel name")
+		model      = fs.String("model", "", "interconnect model override (I..X)")
+		n          = fs.Uint64("n", 0, "instruction budget (0 = server default)")
+		clusters   = fs.Int("clusters", 0, "cluster count override (4 or 16)")
+		deadlineMS = fs.Int64("deadline-ms", 0, "per-job wall-clock deadline override in ms")
+		timeout    = fs.Duration("timeout", 5*time.Minute, "overall client timeout")
+		attempts   = fs.Int("retries", 6, "max attempts per API operation")
+	)
+	fs.Parse(args)
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "hetwired run: -bench is required")
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	req := &hetwire.RunRequest{Benchmark: *bench, Model: *model, N: *n, Clusters: *clusters}
+	if err := req.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "hetwired run: %v\n", err)
+		os.Exit(2)
+	}
+	cl := client.New(client.Options{BaseURL: *serverURL, MaxAttempts: *attempts})
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	resp, st, err := cl.Run(ctx, req, *deadlineMS)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hetwired run: %v\n", err)
+		os.Exit(1)
+	}
+	out := struct {
+		Job string `json:"job"`
+		*hetwire.RunResponse
+		CacheHit bool    `json:"cache_hit"`
+		WallMS   float64 `json:"wall_ms"`
+	}{Job: st.ID, RunResponse: resp, CacheHit: st.CacheHit, WallMS: st.WallMS}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
 }

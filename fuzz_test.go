@@ -60,6 +60,10 @@ func FuzzRunRequestValidate(f *testing.F) {
 	f.Add([]byte(`{"benchmark":"nonexistent"}`))
 	f.Add([]byte(`{"n":1}`))
 	f.Add([]byte(`{"benchmark":"gcc","clusters":5}`))
+	f.Add([]byte(`{"benchmark":"gcc","n":99999999999}`))                       // absurd instruction budget
+	f.Add([]byte(`{"benchmarks":["gcc","mcf","swim","gzip","mesa","vortex",` + // > MaxBenchmarks
+		`"gcc","mcf","swim","gzip","mesa","vortex","gcc","mcf","swim","gzip","mesa"]}`))
+	f.Add([]byte(`{"benchmarks":["gcc","mcf","swim","gzip","mesa"],"clusters":4}`)) // programs > clusters
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		var req RunRequest
 		if err := json.Unmarshal(raw, &req); err != nil {

@@ -1,6 +1,7 @@
 package hetwire
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -133,6 +134,45 @@ func TestGoldenCorpus(t *testing.T) {
 						}
 						if res.CalendarClamps != 0 {
 							t.Errorf("calendar clamps = %d, timing was approximated", res.CalendarClamps)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenCorpusContextPath re-runs the full corpus through the
+// context-aware entry point and compares against the same pinned fixtures:
+// the cancellation polling and forward-progress watchdog must be invisible
+// to a run that is never cancelled. Together with TestGoldenCorpus this
+// proves Run and RunContext are bit-identical across the whole matrix.
+func TestGoldenCorpusContextPath(t *testing.T) {
+	if *updateGolden {
+		t.Skip("updating")
+	}
+	ctx := context.Background()
+	for _, id := range goldenModels {
+		id := id
+		want := readGolden(t, id)
+		for _, tp := range goldenTopologies {
+			tp := tp
+			for _, bench := range goldenBenchmarks {
+				bench := bench
+				for _, n := range goldenCounts {
+					n := n
+					name := fmt.Sprintf("%s/%s", id, goldenKey(tp.name, bench, n))
+					t.Run(name, func(t *testing.T) {
+						t.Parallel()
+						cfg := DefaultConfig().WithModel(id)
+						cfg.Topology = tp.topo
+						res, err := RunBenchmarkContext(ctx, cfg, bench, n)
+						if err != nil {
+							t.Fatalf("RunBenchmarkContext: %v", err)
+						}
+						wantHash := want[goldenKey(tp.name, bench, n)]
+						if got := ResultHash(res); got != wantHash {
+							t.Errorf("ctx path drifted from golden: ResultHash = %s, golden = %s", got, wantHash)
 						}
 					})
 				}

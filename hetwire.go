@@ -24,6 +24,7 @@
 package hetwire
 
 import (
+	"context"
 	"fmt"
 
 	"hetwire/internal/config"
@@ -130,17 +131,7 @@ func Benchmarks() []string { return workload.Names() }
 // RunBenchmark runs one named benchmark for n instructions on the given
 // configuration.
 func RunBenchmark(cfg Config, benchmark string, n uint64) (Result, error) {
-	prof, ok := workload.ByName(benchmark)
-	if !ok {
-		return Result{}, fmt.Errorf("hetwire: unknown benchmark %q (see Benchmarks())", benchmark)
-	}
-	sim, err := NewSimulator(cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	res := sim.Run(workload.NewGenerator(prof), n)
-	res.Benchmark = benchmark
-	return res, nil
+	return RunBenchmarkContext(context.Background(), cfg, benchmark, n)
 }
 
 // ThreadResult is one thread's outcome in a multiprogrammed run.
@@ -156,27 +147,7 @@ type ThreadResult struct {
 // thread-level-parallelism organisation the paper motivates for 16-cluster
 // machines. Each thread's benchmark is placed in a disjoint address space.
 func RunMultiprogrammed(cfg Config, benchmarks []string, n uint64) ([]ThreadResult, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if len(benchmarks) == 0 || len(benchmarks) > cfg.Topology.Clusters() {
-		return nil, fmt.Errorf("hetwire: need between 1 and %d threads, got %d",
-			cfg.Topology.Clusters(), len(benchmarks))
-	}
-	profs, err := multiprogProfiles(benchmarks)
-	if err != nil {
-		return nil, err
-	}
-	streams := make([]trace.Stream, len(profs))
-	for i, prof := range profs {
-		streams[i] = workload.NewGenerator(prof)
-	}
-	res := core.RunMultiprogram(cfg, streams, n)
-	out := make([]ThreadResult, len(res))
-	for i, r := range res {
-		out[i] = ThreadResult{Benchmark: benchmarks[i], Clusters: r.Clusters, Stats: r.Stats}
-	}
-	return out, nil
+	return RunMultiprogrammedContext(context.Background(), cfg, benchmarks, n)
 }
 
 // multiprogProfiles resolves benchmark or kernel names to workload profiles
@@ -213,15 +184,5 @@ func Kernels() []string {
 
 // RunKernel runs one named microbenchmark kernel.
 func RunKernel(cfg Config, kernel string, n uint64) (Result, error) {
-	prof, ok := workload.KernelByName(kernel)
-	if !ok {
-		return Result{}, fmt.Errorf("hetwire: unknown kernel %q (see Kernels())", kernel)
-	}
-	sim, err := NewSimulator(cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	res := sim.Run(workload.NewGenerator(prof), n)
-	res.Benchmark = kernel
-	return res, nil
+	return RunKernelContext(context.Background(), cfg, kernel, n)
 }

@@ -1,0 +1,358 @@
+// Package client is a fault-tolerant HTTP client for the hetwired daemon:
+// exponential backoff with deterministic jitter, Retry-After honoring,
+// retries restricted to idempotent operations, and a circuit breaker that
+// fails fast once the daemon looks down.
+//
+// Submission is made idempotent by keying every POST /v1/jobs with the
+// request's canonical content hash (hetwire.RunRequest.CacheKey, itself
+// derived from the ConfigHash of the resolved machine): a retried submit
+// whose first attempt actually reached the daemon returns the job that
+// attempt created instead of enqueueing a duplicate.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"hetwire"
+	"hetwire/internal/server"
+	"hetwire/internal/xrand"
+)
+
+// Options configures a Client.
+type Options struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8677".
+	BaseURL string
+	// HTTPClient optionally overrides the transport (default
+	// http.DefaultClient).
+	HTTPClient *http.Client
+	// MaxAttempts bounds the attempts per operation, first try included
+	// (default 6).
+	MaxAttempts int
+	// BaseBackoff seeds the exponential backoff schedule (default 200ms);
+	// attempt k waits ~BaseBackoff<<k with jitter, capped at MaxBackoff
+	// (default 5s). A server Retry-After hint overrides the schedule.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterSeed makes the jitter stream deterministic for tests (default 1).
+	JitterSeed uint64
+	// BreakerThreshold is how many consecutive transport/5xx failures trip
+	// the circuit breaker (default 5); while open, calls fail immediately
+	// with ErrCircuitOpen until BreakerCooldown (default 10s) elapses, after
+	// which the next call probes the daemon (half-open).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.HTTPClient == nil {
+		o.HTTPClient = http.DefaultClient
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 6
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 200 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Second
+	}
+	if o.JitterSeed == 0 {
+		o.JitterSeed = 1
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 10 * time.Second
+	}
+	return o
+}
+
+// ErrCircuitOpen is returned without touching the network while the breaker
+// is open.
+var ErrCircuitOpen = errors.New("client: circuit breaker open (daemon looked down recently)")
+
+// APIError is a non-retryable HTTP failure from the daemon.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: daemon returned %d: %s", e.Status, e.Message)
+}
+
+// Client talks to one hetwired daemon. Safe for concurrent use.
+type Client struct {
+	opts Options
+
+	mu        sync.Mutex
+	jitter    *xrand.Source
+	fails     int       // consecutive breaker-counted failures
+	openUntil time.Time // breaker open while now < openUntil
+
+	// now and sleep are test seams.
+	now   func() time.Time
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// New builds a client for the daemon at opts.BaseURL.
+func New(opts Options) *Client {
+	opts = opts.withDefaults()
+	return &Client{
+		opts:   opts,
+		jitter: xrand.New(opts.JitterSeed),
+		now:    time.Now,
+		sleep:  sleepCtx,
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// SubmitRun submits one run request as a job. The call is idempotent: it is
+// keyed by the request's canonical content hash, so retries (ours or a
+// caller's) land on the same job. deadlineMS, when positive, asks the daemon
+// to bound the job's wall clock.
+func (c *Client) SubmitRun(ctx context.Context, req *hetwire.RunRequest, deadlineMS int64) (server.JobStatus, error) {
+	key, err := req.CacheKey()
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	body := struct {
+		hetwire.RunRequest
+		DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	}{RunRequest: *req, DeadlineMS: deadlineMS}
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	var st server.JobStatus
+	err = c.do(ctx, http.MethodPost, "/v1/jobs", raw, "run-"+key, &st)
+	return st, err
+}
+
+// Job polls one job's status.
+func (c *Client) Job(ctx context.Context, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, "", &st)
+	return st, err
+}
+
+// Cancel cancels a queued or running job (idempotent by nature).
+func (c *Client) Cancel(ctx context.Context, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, "", &st)
+	return st, err
+}
+
+// Await polls the job until it reaches a terminal state (or ctx ends).
+func (c *Client) Await(ctx context.Context, id string, poll time.Duration) (server.JobStatus, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		if err := c.sleep(ctx, poll); err != nil {
+			return st, err
+		}
+	}
+}
+
+// Run submits the request, awaits the job, and decodes the result: the
+// whole submit/poll loop with every retry policy applied. A job that ends
+// failed or cancelled is reported as an error carrying the job's message.
+func (c *Client) Run(ctx context.Context, req *hetwire.RunRequest, deadlineMS int64) (*hetwire.RunResponse, server.JobStatus, error) {
+	st, err := c.SubmitRun(ctx, req, deadlineMS)
+	if err != nil {
+		return nil, st, err
+	}
+	st, err = c.Await(ctx, st.ID, 0)
+	if err != nil {
+		return nil, st, err
+	}
+	if st.State != server.StateDone {
+		return nil, st, fmt.Errorf("client: job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	var resp hetwire.RunResponse
+	if err := json.Unmarshal(st.Result, &resp); err != nil {
+		return nil, st, fmt.Errorf("client: decoding result of job %s: %w", st.ID, err)
+	}
+	return &resp, st, nil
+}
+
+// do performs one API operation with retries, backoff, Retry-After, and the
+// circuit breaker. Only idempotent operations retry: GET and DELETE always
+// are; a POST is retried only when idemKey is non-empty (the daemon then
+// deduplicates replays).
+func (c *Client) do(ctx context.Context, method, path string, body []byte, idemKey string, out any) error {
+	retryable := method == http.MethodGet || method == http.MethodDelete || idemKey != ""
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := c.breakerAllow(); err != nil {
+			return err
+		}
+		retryAfter, err := c.once(ctx, method, path, body, idemKey, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && !retryStatus(apiErr.Status) {
+			return err // a definitive daemon answer; retrying cannot help
+		}
+		if !retryable || attempt == c.opts.MaxAttempts-1 {
+			return err
+		}
+		wait := c.backoff(attempt)
+		if retryAfter > 0 {
+			wait = retryAfter
+		}
+		if err := c.sleep(ctx, wait); err != nil {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// once performs a single HTTP attempt, classifying the outcome for the
+// breaker and extracting any Retry-After hint.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, idemKey string, out any) (retryAfter time.Duration, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.opts.BaseURL+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if idemKey != "" {
+		req.Header.Set("Idempotency-Key", idemKey)
+	}
+	resp, err := c.opts.HTTPClient.Do(req)
+	if err != nil {
+		c.breakerRecord(false)
+		return 0, fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		c.breakerRecord(false)
+		return 0, fmt.Errorf("client: reading %s %s response: %w", method, path, err)
+	}
+	if resp.StatusCode >= 400 {
+		// 429 is the daemon shedding load, not the daemon being broken: it
+		// retries but does not count against the breaker.
+		c.breakerRecord(resp.StatusCode == http.StatusTooManyRequests)
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, perr := strconv.Atoi(ra); perr == nil && secs >= 0 {
+				retryAfter = time.Duration(secs) * time.Second
+				if retryAfter > 30*time.Second {
+					retryAfter = 30 * time.Second
+				}
+			}
+		}
+		var msg struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(raw, &msg)
+		if msg.Error == "" {
+			msg.Error = string(raw)
+		}
+		return retryAfter, &APIError{Status: resp.StatusCode, Message: msg.Error}
+	}
+	c.breakerRecord(true)
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return 0, fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return 0, nil
+}
+
+// retryStatus reports whether an HTTP status is worth retrying.
+func retryStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return status == 0 // transport error, no status
+}
+
+// backoff returns the jittered exponential delay for the given attempt:
+// uniformly in [half, full] of min(MaxBackoff, BaseBackoff<<attempt).
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.opts.BaseBackoff << uint(attempt)
+	if d <= 0 || d > c.opts.MaxBackoff {
+		d = c.opts.MaxBackoff
+	}
+	c.mu.Lock()
+	u := c.jitter.Uint64()
+	c.mu.Unlock()
+	frac := 0.5 + 0.5*float64(u>>11)/(1<<53)
+	return time.Duration(float64(d) * frac)
+}
+
+// breakerAllow rejects immediately while the breaker is open; once the
+// cooldown has elapsed the call proceeds as the half-open probe.
+func (c *Client) breakerAllow() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.now().Before(c.openUntil) {
+		return ErrCircuitOpen
+	}
+	return nil
+}
+
+// breakerRecord folds one attempt outcome into the breaker state: a success
+// closes it, a failure past the threshold (re-)opens it for the cooldown.
+func (c *Client) breakerRecord(ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ok {
+		c.fails = 0
+		c.openUntil = time.Time{}
+		return
+	}
+	c.fails++
+	if c.fails >= c.opts.BreakerThreshold {
+		c.openUntil = c.now().Add(c.opts.BreakerCooldown)
+	}
+}
+
+// Breaker reports whether the circuit is currently open (test observability).
+func (c *Client) Breaker() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now().Before(c.openUntil)
+}

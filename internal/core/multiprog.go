@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"hetwire/internal/cache"
@@ -75,60 +76,8 @@ type ThreadResult struct {
 // see time-aligned contention. Per-thread Stats carry private pipeline
 // statistics; the network counters in each Stats describe the whole shared
 // fabric and are therefore identical across threads.
+// It is RunMultiprogramContext with a background context (see Run).
 func RunMultiprogram(cfg config.Config, streams []trace.Stream, n uint64) []ThreadResult {
-	if len(streams) == 0 {
-		return nil
-	}
-	total := cfg.Topology.Clusters()
-	if len(streams) > total {
-		panic("core: more threads than clusters")
-	}
-	per := total / len(streams)
-	fab := NewSharedFabric(cfg)
-
-	procs := make([]*Processor, len(streams))
-	out := make([]ThreadResult, len(streams))
-	for i := range streams {
-		clusters := make([]int, per)
-		for j := range clusters {
-			clusters[j] = i*per + j
-		}
-		procs[i] = NewOnFabric(cfg, fab, clusters)
-		out[i].Clusters = clusters
-	}
-
-	remaining := make([]uint64, len(streams))
-	for i := range remaining {
-		remaining[i] = n
-	}
-	var ins trace.Instr
-	active := len(streams)
-	for active > 0 {
-		// Step the thread whose commit frontier is furthest behind, keeping
-		// the shared calendars time-aligned across threads.
-		pick := -1
-		for i, p := range procs {
-			if remaining[i] == 0 {
-				continue
-			}
-			if pick == -1 || p.lastCommit < procs[pick].lastCommit {
-				pick = i
-			}
-		}
-		if !streams[pick].Next(&ins) {
-			remaining[pick] = 0
-			active--
-			continue
-		}
-		procs[pick].step(&ins)
-		remaining[pick]--
-		if remaining[pick] == 0 {
-			active--
-		}
-	}
-	for i, p := range procs {
-		p.finalize()
-		out[i].Stats = p.s
-	}
+	out, _ := RunMultiprogramContext(context.Background(), cfg, streams, n)
 	return out
 }

@@ -18,6 +18,8 @@
 package core
 
 import (
+	"context"
+
 	"hetwire/internal/bpred"
 	"hetwire/internal/cache"
 	"hetwire/internal/config"
@@ -284,16 +286,12 @@ func New(cfg config.Config) *Processor {
 const frontDepth = 9
 
 // Run simulates n instructions from the stream and returns the statistics.
+// It is RunContext with a background context: never cancelled, and the
+// forward-progress watchdog's abort is unreachable on a well-formed machine
+// (the error is discarded because it cannot occur without state corruption).
 func (p *Processor) Run(src trace.Stream, n uint64) Stats {
-	var ins trace.Instr
-	for i := uint64(0); i < n; i++ {
-		if !src.Next(&ins) {
-			break
-		}
-		p.step(&ins)
-	}
-	p.finalize()
-	return p.s
+	st, _ := p.RunContext(context.Background(), src, n)
+	return st
 }
 
 // Warmup simulates n instructions and then clears all statistics while

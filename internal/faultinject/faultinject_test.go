@@ -1,0 +1,141 @@
+package faultinject
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestNilInjectorInertness: a nil *Injector is the production configuration;
+// every method must be a safe no-op.
+func TestNilInjectorInertness(t *testing.T) {
+	var in *Injector
+	for _, p := range Points() {
+		if in.Should(p) {
+			t.Errorf("nil injector fired %q", p)
+		}
+	}
+	if in.SlowDuration() != 0 || in.Fired(JobSlow) != 0 || in.Decisions(JobSlow) != 0 {
+		t.Error("nil injector reported non-zero state")
+	}
+	if in.String() != "faults: none" {
+		t.Errorf("nil injector String = %q", in.String())
+	}
+}
+
+// TestDeterminism: two injectors with the same config answer every decision
+// identically — the property that makes chaos failures reproducible.
+func TestDeterminism(t *testing.T) {
+	mk := func() *Injector {
+		in, err := Parse("seed=42,panic=0.3,slow=0.5,cancel=0.1,corrupt=0.7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 2000; i++ {
+		for _, p := range Points() {
+			if a.Should(p) != b.Should(p) {
+				t.Fatalf("decision %d at %q diverged between equal configs", i, p)
+			}
+		}
+	}
+	if a.Fired(WorkerPanic) == 0 || a.Fired(CacheCorrupt) == 0 {
+		t.Error("positive rates never fired over 2000 decisions")
+	}
+}
+
+// TestRates: firing frequency tracks the configured rate (law of large
+// numbers over a deterministic stream; exact counts are stable per seed).
+func TestRates(t *testing.T) {
+	in, err := New(Config{Seed: 7, Rates: map[Point]float64{WorkerPanic: 0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		in.Should(WorkerPanic)
+	}
+	got := float64(in.Fired(WorkerPanic)) / trials
+	if math.Abs(got-0.25) > 0.02 {
+		t.Errorf("empirical rate %.4f, configured 0.25", got)
+	}
+	if in.Decisions(WorkerPanic) != trials {
+		t.Errorf("decisions = %d, want %d", in.Decisions(WorkerPanic), trials)
+	}
+}
+
+// TestZeroRateNeverFires: the zero-fault configuration used by the
+// determinism corpus must be exactly inert.
+func TestZeroRateNeverFires(t *testing.T) {
+	in, err := Parse("seed=1,panic=0,slow=0,cancel=0,corrupt=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		for _, p := range Points() {
+			if in.Should(p) {
+				t.Fatalf("zero-rate injector fired %q", p)
+			}
+		}
+	}
+}
+
+// TestMaxFires: the per-point cap stops firing after N hits while decisions
+// keep being consumed (so downstream decision indices stay aligned).
+func TestMaxFires(t *testing.T) {
+	in, err := Parse("seed=3,panic=1,panic.max=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 100; i++ {
+		if in.Should(WorkerPanic) {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Errorf("fired %d times, cap was 2", fired)
+	}
+}
+
+// TestParseErrors: malformed specs are rejected with errors, not panics.
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"panic",          // not key=value
+		"panic=2",        // rate out of range
+		"panic=-0.1",     // rate out of range
+		"warp=0.5",       // unknown point
+		"seed=x",         // bad seed
+		"slowms=x",       // bad duration
+		"bogus.max=1",    // unknown point cap
+		"panic.max=nope", // bad cap
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+	if in, err := Parse("   "); err != nil || in != nil {
+		t.Errorf("blank spec: injector=%v err=%v, want nil,nil", in, err)
+	}
+}
+
+// TestParseSlow: slowms configures the injected delay; unset falls back to
+// DefaultSlow.
+func TestParseSlow(t *testing.T) {
+	in, err := Parse("slow=0.5,slowms=120")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.SlowDuration() != 120*time.Millisecond {
+		t.Errorf("SlowDuration = %s, want 120ms", in.SlowDuration())
+	}
+	in2, err := Parse("slow=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in2.SlowDuration() != DefaultSlow {
+		t.Errorf("default SlowDuration = %s, want %s", in2.SlowDuration(), DefaultSlow)
+	}
+}

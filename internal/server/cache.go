@@ -2,6 +2,9 @@ package server
 
 import (
 	"container/list"
+	"context"
+	"crypto/sha256"
+	"errors"
 	"sync"
 )
 
@@ -11,6 +14,11 @@ import (
 // canonical request hashes from hetwire.RunRequest.CacheKey, so a hit is
 // guaranteed to be byte-identical to what re-running the request would
 // produce (simulations are deterministic).
+//
+// Entries carry a SHA-256 of their body taken at insert time; every hit is
+// verified against it, and an entry whose bytes no longer match (bit-rot, or
+// the fault-injection harness) is silently dropped and recomputed — the
+// cache self-heals rather than serving corrupt results.
 type Cache struct {
 	mu       sync.Mutex
 	budget   int64
@@ -19,15 +27,17 @@ type Cache struct {
 	entries  map[string]*list.Element
 	inflight map[string]*flight
 
-	hits      uint64 // served from a stored entry
-	coalesced uint64 // served by waiting on an in-flight computation
-	misses    uint64 // computed fresh
-	evictions uint64
+	hits       uint64 // served from a stored entry
+	coalesced  uint64 // served by waiting on an in-flight computation
+	misses     uint64 // computed fresh
+	evictions  uint64
+	corruption uint64 // entries dropped on checksum mismatch
 }
 
 type cacheEntry struct {
 	key  string
 	body []byte
+	sum  [sha256.Size]byte
 }
 
 // flight is one in-progress computation; waiters block on done.
@@ -53,39 +63,66 @@ func NewCache(budget int64) *Cache {
 // true when the body was served without running compute in this call —
 // either from the store or by coalescing onto another caller's in-flight
 // computation. Returned bodies are shared; callers must not mutate them.
-func (c *Cache) Do(key string, compute func() ([]byte, error)) (body []byte, hit bool, err error) {
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.ll.MoveToFront(el)
-		c.hits++
-		body = el.Value.(*cacheEntry).body
+//
+// ctx governs only the waiting: a caller coalesced onto another flight stops
+// waiting when ctx is cancelled. And when the flight it waited on fails with
+// the *computing* job's context error, a still-live waiter retries the
+// computation itself instead of inheriting a cancellation that was never
+// meant for it.
+func (c *Cache) Do(ctx context.Context, key string, compute func() ([]byte, error)) (body []byte, hit bool, err error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			ent := el.Value.(*cacheEntry)
+			if sha256.Sum256(ent.body) == ent.sum {
+				c.ll.MoveToFront(el)
+				c.hits++
+				c.mu.Unlock()
+				return ent.body, true, nil
+			}
+			// Corrupt entry: drop it and fall through to recompute.
+			c.removeLocked(el)
+			c.corruption++
+		}
+		if f, ok := c.inflight[key]; ok {
+			c.coalesced++
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if isContextError(f.err) && ctx.Err() == nil {
+				continue // the computer was cancelled, we were not: retry
+			}
+			return f.body, true, f.err
+		}
+		f := &flight{done: make(chan struct{})}
+		c.inflight[key] = f
+		c.misses++
 		c.mu.Unlock()
-		return body, true, nil
-	}
-	if f, ok := c.inflight[key]; ok {
-		c.coalesced++
+
+		f.body, f.err = compute()
+		close(f.done)
+
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if f.err == nil {
+			c.insert(key, f.body)
+		}
 		c.mu.Unlock()
-		<-f.done
-		return f.body, true, f.err
+		return f.body, false, f.err
 	}
-	f := &flight{done: make(chan struct{})}
-	c.inflight[key] = f
-	c.misses++
-	c.mu.Unlock()
-
-	f.body, f.err = compute()
-	close(f.done)
-
-	c.mu.Lock()
-	delete(c.inflight, key)
-	if f.err == nil {
-		c.insert(key, f.body)
-	}
-	c.mu.Unlock()
-	return f.body, false, f.err
 }
 
-// Get looks the key up without computing on miss.
+// isContextError reports whether err is a context cancellation or deadline
+// error (possibly wrapped).
+func isContextError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Get looks the key up without computing on miss; corrupt entries are
+// dropped and reported as a miss.
 func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -93,8 +130,35 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	if !ok {
 		return nil, false
 	}
+	ent := el.Value.(*cacheEntry)
+	if sha256.Sum256(ent.body) != ent.sum {
+		c.removeLocked(el)
+		c.corruption++
+		return nil, false
+	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).body, true
+	return ent.body, true
+}
+
+// CorruptEntry deterministically flips one byte of the stored copy of key's
+// body (fault injection). The stored body is replaced with a mutated copy so
+// slices already handed to callers stay intact. Returns false when the key
+// is not resident.
+func (c *Cache) CorruptEntry(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	ent := el.Value.(*cacheEntry)
+	if len(ent.body) == 0 {
+		return false
+	}
+	mutated := append([]byte(nil), ent.body...)
+	mutated[len(mutated)/2] ^= 0xff
+	ent.body = mutated
+	return true
 }
 
 // insert stores the body and evicts LRU entries past the byte budget.
@@ -107,23 +171,28 @@ func (c *Cache) insert(key string, body []byte) {
 		return
 	}
 	if el, ok := c.entries[key]; ok { // lost a race with an identical insert
-		c.bytes -= int64(len(el.Value.(*cacheEntry).body))
-		c.ll.Remove(el)
-		delete(c.entries, key)
+		c.removeLocked(el)
 	}
-	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	ent := &cacheEntry{key: key, body: body, sum: sha256.Sum256(body)}
+	c.entries[key] = c.ll.PushFront(ent)
 	c.bytes += size
 	for c.bytes > c.budget {
 		back := c.ll.Back()
 		if back == nil {
 			break
 		}
-		ent := back.Value.(*cacheEntry)
-		c.ll.Remove(back)
-		delete(c.entries, ent.key)
-		c.bytes -= int64(len(ent.body))
+		c.removeLocked(back)
 		c.evictions++
 	}
+}
+
+// removeLocked unlinks one entry and releases its bytes. Called with c.mu
+// held.
+func (c *Cache) removeLocked(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.entries, ent.key)
+	c.bytes -= int64(len(ent.body))
 }
 
 // CacheStats is a point-in-time snapshot of the cache counters.
@@ -135,6 +204,9 @@ type CacheStats struct {
 	Coalesced uint64 // in-flight dedup hits
 	Misses    uint64
 	Evictions uint64
+	// Corrupt counts entries dropped because their bytes stopped matching
+	// the insert-time checksum.
+	Corrupt uint64
 }
 
 // HitRatio returns hits (stored + coalesced) over all lookups.
@@ -158,5 +230,6 @@ func (c *Cache) Stats() CacheStats {
 		Coalesced: c.coalesced,
 		Misses:    c.misses,
 		Evictions: c.evictions,
+		Corrupt:   c.corruption,
 	}
 }

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hetwire/internal/faultinject"
+)
+
+// TestChaosStorm is the chaos suite's centerpiece: a live daemon with every
+// fault point armed (worker panics, artificial slowness, spurious
+// cancellations, cache corruption) under a concurrent submit/poll/cancel
+// storm. The invariants that must survive arbitrary fault interleavings:
+//
+//   - every accepted job reaches a terminal state (no deadlocks, no zombies)
+//   - the terminal-state counters sum exactly to the accepted-job count
+//   - panicked jobs carry a stack trace and respect the injector's fire cap
+//   - the worker pool keeps its size (respawns replace panicked workers)
+//   - the daemon drains cleanly afterwards
+//
+// The injector is seeded, so a failure replays with the same fault pattern.
+func TestChaosStorm(t *testing.T) {
+	in, err := faultinject.Parse("seed=11,panic=0.1,panic.max=3,slow=0.35,slowms=15,cancel=0.1,corrupt=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 3
+	s := New(Options{Workers: workers, QueueDepth: 64, Faults: in})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var mu sync.Mutex
+	var ids []string
+	addID := func(id string) { mu.Lock(); ids = append(ids, id); mu.Unlock() }
+	snapshot := func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), ids...)
+	}
+	post := func(body map[string]any) (int, JobStatus) {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Errorf("marshal: %v", err)
+			return 0, JobStatus{}
+		}
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Errorf("submit: %v", err)
+			return 0, JobStatus{}
+		}
+		defer resp.Body.Close()
+		var st JobStatus
+		_ = json.NewDecoder(resp.Body).Decode(&st)
+		return resp.StatusCode, st
+	}
+
+	// Pollers keep every read endpoint hot while faults fire.
+	stopPoll := make(chan struct{})
+	var pollers sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		pollers.Add(1)
+		go func() {
+			defer pollers.Done()
+			for {
+				select {
+				case <-stopPoll:
+					return
+				default:
+				}
+				for _, id := range snapshot() {
+					if resp, err := http.Get(ts.URL + "/v1/jobs/" + id); err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}
+				if resp, err := http.Get(ts.URL + "/metrics"); err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+
+	benches := []string{"gzip", "gcc", "mcf", "swim", "mesa", "vortex"}
+	var submitters sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		submitters.Add(1)
+		go func(g int) {
+			defer submitters.Done()
+			for i := 0; i < 9; i++ {
+				code, st := post(map[string]any{
+					"benchmark": benches[(g+i)%len(benches)],
+					"n":         4000 + 700*i + 11000*g, // distinct budgets defeat the cache
+				})
+				if code == http.StatusAccepted {
+					addID(st.ID)
+					if i%5 == 4 { // cancel a slice of accepted jobs, any state
+						req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+						if resp, err := http.DefaultClient.Do(req); err == nil {
+							io.Copy(io.Discard, resp.Body)
+							resp.Body.Close()
+						}
+					}
+				} else if code != http.StatusTooManyRequests {
+					t.Errorf("submit status = %d", code)
+				}
+			}
+		}(g)
+	}
+	// Two sweep jobs ride along so the multi-point path sees faults too.
+	submitters.Add(1)
+	go func() {
+		defer submitters.Done()
+		for i := 0; i < 2; i++ {
+			code, st := post(map[string]any{
+				"sweep": map[string]any{
+					"models":     []string{"I", "V"},
+					"benchmarks": []string{"gzip", "mcf"},
+					"ns":         []uint64{6000 + uint64(i)*500},
+				},
+			})
+			if code == http.StatusAccepted {
+				addID(st.ID)
+			}
+		}
+	}()
+	submitters.Wait()
+	close(stopPoll)
+	pollers.Wait()
+
+	accepted := snapshot()
+	if len(accepted) < 20 {
+		t.Fatalf("only %d jobs accepted; the storm exercised too little", len(accepted))
+	}
+	panickedJobs := 0
+	for _, id := range accepted {
+		st := waitTerminal(t, ts.URL, id, 60*time.Second)
+		if !st.State.Terminal() {
+			t.Errorf("job %s not terminal: %s", id, st.State)
+		}
+		if strings.Contains(st.Error, "worker panic") {
+			panickedJobs++
+			if !strings.Contains(st.FailureLog, "goroutine") {
+				t.Errorf("panicked job %s has no stack trace in failure_log", id)
+			}
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain after chaos: %v", err)
+	}
+
+	// The harness must actually have injected something, and its panic cap
+	// must hold; bookkeeping must balance exactly.
+	fired := in.Fired(faultinject.WorkerPanic) + in.Fired(faultinject.JobSlow) +
+		in.Fired(faultinject.CtxCancel) + in.Fired(faultinject.CacheCorrupt)
+	if fired == 0 {
+		t.Error("no faults fired; the chaos test tested nothing")
+	}
+	if got := s.Metrics().JobsPanicked(); got != in.Fired(faultinject.WorkerPanic) {
+		t.Errorf("jobs_panicked = %d, injector fired %d", got, in.Fired(faultinject.WorkerPanic))
+	}
+	if got := s.Metrics().JobsPanicked(); got > 3 {
+		t.Errorf("jobs_panicked = %d, cap was 3", got)
+	}
+	if got := s.Metrics().JobsPanicked(); uint64(panickedJobs) != got {
+		t.Errorf("%d jobs report a panic, counter says %d", panickedJobs, got)
+	}
+	if got := s.Metrics().WorkersRespawned(); got != s.Metrics().JobsPanicked() {
+		t.Errorf("respawns = %d, panics = %d", got, s.Metrics().JobsPanicked())
+	}
+
+	text := scrapeMetrics(t, ts.URL)
+	terminal := metricValue(t, text, `hetwired_jobs_total{state="done"}`) +
+		metricValue(t, text, `hetwired_jobs_total{state="failed"}`) +
+		metricValue(t, text, `hetwired_jobs_total{state="cancelled"}`)
+	if int(terminal) != len(accepted) {
+		t.Errorf("terminal-state counters sum to %v, accepted %d jobs", terminal, len(accepted))
+	}
+	if got := metricValue(t, text, "hetwired_workers"); got != workers {
+		t.Errorf("workers gauge = %v, want %d (pool shrank?)", got, workers)
+	}
+	if got := metricValue(t, text, `hetwired_jobs{state="running"}`); got != 0 {
+		t.Errorf("running gauge = %v after drain", got)
+	}
+	if got := metricValue(t, text, "hetwired_queue_depth"); got != 0 {
+		t.Errorf("queue depth = %v after drain", got)
+	}
+	t.Logf("chaos: %d jobs, faults fired: %s", len(accepted), in)
+}

@@ -37,30 +37,42 @@ type Job struct {
 	Req   hetwire.RunRequest
 	Sweep *SweepRequest
 
-	ctx    context.Context
-	cancel context.CancelFunc
-	done   chan struct{} // closed on reaching a terminal state
+	ctx      context.Context
+	cancel   context.CancelFunc
+	done     chan struct{} // closed on reaching a terminal state
+	idemKey  string        // Idempotency-Key the job was submitted under, if any
+	deadline time.Duration // wall-clock budget from submission
 
-	mu        sync.Mutex
-	state     JobState
-	body      []byte // marshalled result, valid when state == StateDone
-	errMsg    string
-	cacheHit  bool
-	ipc       float64
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	mu         sync.Mutex
+	state      JobState
+	body       []byte // marshalled result, valid when state == StateDone
+	errMsg     string
+	failureLog string // stack trace when the job died to a worker panic
+	cacheHit   bool
+	ipc        float64
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
 }
 
-// newJob builds a queued job whose context descends from parent.
-func newJob(parent context.Context, id, kind string, now time.Time) *Job {
-	ctx, cancel := context.WithCancel(parent)
+// newJob builds a queued job whose context descends from parent; a non-zero
+// deadline bounds the job's total wall clock (queue wait included) via
+// context.WithTimeout.
+func newJob(parent context.Context, id, kind string, deadline time.Duration, now time.Time) *Job {
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if deadline > 0 {
+		ctx, cancel = context.WithTimeout(parent, deadline)
+	} else {
+		ctx, cancel = context.WithCancel(parent)
+	}
 	return &Job{
 		ID:        id,
 		Kind:      kind,
 		ctx:       ctx,
 		cancel:    cancel,
 		done:      make(chan struct{}),
+		deadline:  deadline,
 		state:     StateQueued,
 		submitted: now,
 	}
@@ -80,7 +92,9 @@ func (j *Job) claim(now time.Time) bool {
 }
 
 // finish records the terminal outcome. Cancellation wins over errors so a
-// job cancelled mid-sweep reports "cancelled", not the context error.
+// job cancelled mid-sweep reports "cancelled", not the context error; a
+// deadline expiry is a failure (the job did not do what was asked) with an
+// explicit message rather than a bare context error.
 func (j *Job) finish(body []byte, cacheHit bool, ipc float64, err error, now time.Time) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -89,6 +103,10 @@ func (j *Job) finish(body []byte, cacheHit bool, ipc float64, err error, now tim
 	}
 	j.finished = now
 	switch {
+	case err != nil && errors.Is(err, context.DeadlineExceeded):
+		j.state = StateFailed
+		j.errMsg = fmt.Sprintf("deadline exceeded (budget %s, wall %s)",
+			j.deadline, now.Sub(j.submitted).Round(time.Millisecond))
 	case err != nil && errors.Is(err, context.Canceled):
 		j.state = StateCancelled
 		j.errMsg = "cancelled"
@@ -101,6 +119,21 @@ func (j *Job) finish(body []byte, cacheHit bool, ipc float64, err error, now tim
 		j.cacheHit = cacheHit
 		j.ipc = ipc
 	}
+	close(j.done)
+}
+
+// finishPanic resolves the job after a worker panic: failed, with the panic
+// value as the error and the stack trace preserved in failure_log.
+func (j *Job) finishPanic(panicVal any, stack []byte, now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.finished = now
+	j.state = StateFailed
+	j.errMsg = fmt.Sprintf("worker panic: %v", panicVal)
+	j.failureLog = string(stack)
 	close(j.done)
 }
 
@@ -127,16 +160,20 @@ func (j *Job) State() JobState {
 
 // JobStatus is the JSON view of a job served by the jobs endpoints.
 type JobStatus struct {
-	ID        string          `json:"id"`
-	Kind      string          `json:"kind"`
-	State     JobState        `json:"state"`
-	CacheHit  bool            `json:"cache_hit,omitempty"`
-	IPC       float64         `json:"ipc,omitempty"`
-	Error     string          `json:"error,omitempty"`
-	Submitted time.Time       `json:"submitted"`
-	WallMS    float64         `json:"wall_ms,omitempty"`
-	QueueMS   float64         `json:"queue_ms,omitempty"`
-	Result    json.RawMessage `json:"result,omitempty"`
+	ID       string   `json:"id"`
+	Kind     string   `json:"kind"`
+	State    JobState `json:"state"`
+	CacheHit bool     `json:"cache_hit,omitempty"`
+	IPC      float64  `json:"ipc,omitempty"`
+	Error    string   `json:"error,omitempty"`
+	// FailureLog carries the worker's stack trace when the job failed to a
+	// contained panic.
+	FailureLog string          `json:"failure_log,omitempty"`
+	DeadlineMS float64         `json:"deadline_ms,omitempty"`
+	Submitted  time.Time       `json:"submitted"`
+	WallMS     float64         `json:"wall_ms,omitempty"`
+	QueueMS    float64         `json:"queue_ms,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
 }
 
 // Status snapshots the job. Result bodies are included only when done and
@@ -145,13 +182,17 @@ func (j *Job) Status(withResult bool) JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
-		ID:        j.ID,
-		Kind:      j.Kind,
-		State:     j.state,
-		CacheHit:  j.cacheHit,
-		IPC:       j.ipc,
-		Error:     j.errMsg,
-		Submitted: j.submitted,
+		ID:         j.ID,
+		Kind:       j.Kind,
+		State:      j.state,
+		CacheHit:   j.cacheHit,
+		IPC:        j.ipc,
+		Error:      j.errMsg,
+		FailureLog: j.failureLog,
+		Submitted:  j.submitted,
+	}
+	if j.deadline > 0 {
+		st.DeadlineMS = float64(j.deadline) / float64(time.Millisecond)
 	}
 	if !j.started.IsZero() {
 		st.QueueMS = float64(j.started.Sub(j.submitted)) / float64(time.Millisecond)

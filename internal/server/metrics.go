@@ -30,6 +30,18 @@ type Metrics struct {
 	jobsFailed    atomic.Uint64
 	jobsCancelled atomic.Uint64
 	jobsRunning   atomic.Int64
+	// jobsPanicked counts jobs that died to a contained worker panic (a
+	// subset of jobsFailed); workersRespawned counts the replacement workers
+	// started afterwards.
+	jobsPanicked     atomic.Uint64
+	workersRespawned atomic.Uint64
+	// jobsRejected counts submissions bounced for backpressure (queue full).
+	jobsRejected atomic.Uint64
+
+	// jobWallNanos/jobWallCount accumulate terminal jobs' wall time; their
+	// ratio is the observed mean job latency that sizes Retry-After hints.
+	jobWallNanos atomic.Int64
+	jobWallCount atomic.Uint64
 
 	workers     int
 	workersBusy atomic.Int64
@@ -54,6 +66,29 @@ type endpointMetrics struct {
 func NewMetrics(workers int, now time.Time) *Metrics {
 	return &Metrics{start: now, workers: workers, endpoints: make(map[string]*endpointMetrics)}
 }
+
+// ObserveJobWall folds one terminal job's wall time into the latency
+// estimate behind Retry-After.
+func (m *Metrics) ObserveJobWall(d time.Duration) {
+	m.jobWallNanos.Add(int64(d))
+	m.jobWallCount.Add(1)
+}
+
+// MeanJobLatency is the observed mean wall time of terminal jobs, or the
+// fallback when no job has finished yet.
+func (m *Metrics) MeanJobLatency(fallback time.Duration) time.Duration {
+	n := m.jobWallCount.Load()
+	if n == 0 {
+		return fallback
+	}
+	return time.Duration(uint64(m.jobWallNanos.Load()) / n)
+}
+
+// JobsPanicked exposes the panic counter (tests).
+func (m *Metrics) JobsPanicked() uint64 { return m.jobsPanicked.Load() }
+
+// WorkersRespawned exposes the respawn counter (tests).
+func (m *Metrics) WorkersRespawned() uint64 { return m.workersRespawned.Load() }
 
 // ObserveRequest records one served HTTP request for the route pattern.
 func (m *Metrics) ObserveRequest(route string, status int, elapsed time.Duration) {
@@ -94,6 +129,9 @@ func (m *Metrics) render(w io.Writer, queueDepth int, draining bool, cs CacheSta
 	fmt.Fprintf(w, "hetwired_jobs_total{state=\"failed\"} %d\n", m.jobsFailed.Load())
 	fmt.Fprintf(w, "hetwired_jobs_total{state=\"cancelled\"} %d\n", m.jobsCancelled.Load())
 	counter("hetwired_jobs_submitted_total", "Jobs accepted into the queue.", m.jobsSubmitted.Load())
+	counter("hetwired_jobs_panicked_total", "Jobs failed by a contained worker panic.", m.jobsPanicked.Load())
+	counter("hetwired_jobs_rejected_total", "Submissions rejected for backpressure (429).", m.jobsRejected.Load())
+	counter("hetwired_workers_respawned_total", "Workers respawned after a panic escaped a job.", m.workersRespawned.Load())
 
 	fmt.Fprintf(w, "# HELP hetwired_jobs Jobs currently in a live state.\n# TYPE hetwired_jobs gauge\n")
 	fmt.Fprintf(w, "hetwired_jobs{state=\"queued\"} %d\n", queueDepth)
@@ -111,6 +149,7 @@ func (m *Metrics) render(w io.Writer, queueDepth int, draining bool, cs CacheSta
 	counter("hetwired_cache_coalesced_total", "Requests deduplicated onto an in-flight computation.", cs.Coalesced)
 	counter("hetwired_cache_misses_total", "Result-cache misses (fresh simulations).", cs.Misses)
 	counter("hetwired_cache_evictions_total", "Entries evicted to stay within the byte budget.", cs.Evictions)
+	counter("hetwired_cache_corrupt_dropped_total", "Entries dropped on checksum mismatch and recomputed.", cs.Corrupt)
 	gauge("hetwired_cache_entries", "Entries resident in the result cache.", float64(cs.Entries))
 	gauge("hetwired_cache_bytes", "Bytes resident in the result cache.", float64(cs.Bytes))
 	gauge("hetwired_cache_budget_bytes", "Byte budget of the result cache.", float64(cs.Budget))

@@ -24,11 +24,14 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
 
 	"hetwire"
 	"hetwire/internal/config"
+	"hetwire/internal/faultinject"
 )
 
 // Options configures a Server.
@@ -36,13 +39,25 @@ type Options struct {
 	// Workers is the simulation worker-pool size (default 4).
 	Workers int
 	// QueueDepth bounds the FIFO job queue (default 64); submissions
-	// beyond it are rejected with 503.
+	// beyond it are rejected with 429 + Retry-After.
 	QueueDepth int
 	// CacheBytes is the result-cache byte budget (default 64 MiB).
 	CacheBytes int64
 	// MaxJobs bounds the retained job records; the oldest terminal jobs
 	// are pruned past it (default 1024).
 	MaxJobs int
+	// DefaultDeadline is the per-job wall-clock budget (queue wait included)
+	// applied when a submission carries none (default 2m). Zero after
+	// defaulting is impossible; a negative value disables deadlines.
+	DefaultDeadline time.Duration
+	// MaxDeadline caps per-request deadline overrides (default 10m).
+	MaxDeadline time.Duration
+	// MaxSweepPoints bounds how many points one sweep job may expand to
+	// (default 1024); larger sweeps are rejected at submission.
+	MaxSweepPoints int
+	// Faults optionally wires the deterministic fault-injection harness into
+	// the worker path (chaos tests, HETWIRE_FAULTS). Nil injects nothing.
+	Faults *faultinject.Injector
 	// Logger receives structured request and job logs (default: discard).
 	Logger *log.Logger
 }
@@ -59,6 +74,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxJobs <= 0 {
 		o.MaxJobs = 1024
+	}
+	if o.DefaultDeadline == 0 {
+		o.DefaultDeadline = 2 * time.Minute
+	}
+	if o.DefaultDeadline < 0 {
+		o.DefaultDeadline = 0
+	}
+	if o.MaxDeadline <= 0 {
+		o.MaxDeadline = 10 * time.Minute
+	}
+	if o.MaxSweepPoints <= 0 {
+		o.MaxSweepPoints = 1024
 	}
 	if o.Logger == nil {
 		o.Logger = log.New(discard{}, "", 0)
@@ -85,7 +112,8 @@ type Server struct {
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
-	order    []string // submission order, for listing and pruning
+	order    []string          // submission order, for listing and pruning
+	idem     map[string]string // Idempotency-Key -> job ID, pruned with jobs
 	nextID   uint64
 	draining bool
 }
@@ -102,6 +130,7 @@ func New(opts Options) *Server {
 		baseCtx: ctx,
 		stop:    cancel,
 		jobs:    make(map[string]*Job),
+		idem:    make(map[string]string),
 	}
 	s.mux = http.NewServeMux()
 	s.route("POST", "/v1/run", s.handleRunSync)
@@ -186,22 +215,65 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// worker drains the queue until it is closed and empty.
+// worker drains the queue until it is closed and empty. A panic that escapes
+// a job is contained here: the job it was executing finishes as failed with
+// the stack trace in failure_log, and a replacement worker is spawned so the
+// pool never shrinks — the daemon keeps serving.
 func (s *Server) worker() {
-	defer s.wg.Done()
+	var current *Job
+	defer func() {
+		if r := recover(); r != nil {
+			stack := debug.Stack()
+			now := time.Now()
+			if current != nil {
+				current.finishPanic(r, stack, now)
+				s.metrics.jobsFailed.Add(1)
+				s.metrics.ObserveJobWall(now.Sub(current.Status(false).Submitted))
+				s.opts.Logger.Printf("job id=%s kind=%s state=failed panic=%q (worker respawning)",
+					current.ID, current.Kind, fmt.Sprint(r))
+			} else {
+				s.opts.Logger.Printf("worker panic outside a job: %v (respawning)", r)
+			}
+			s.metrics.jobsPanicked.Add(1)
+			s.metrics.workersRespawned.Add(1)
+			s.wg.Add(1)
+			go s.worker()
+		}
+		s.wg.Done()
+	}()
 	for job := range s.queue.ch {
+		current = job
 		s.runJob(job)
+		current = nil
 	}
 }
 
-// runJob executes one claimed job and records its outcome.
+// runJob executes one claimed job and records its outcome. The running/busy
+// gauges are restored by defer so they stay correct even when a panic
+// propagates to the worker's containment handler.
 func (s *Server) runJob(job *Job) {
 	if !job.claim(time.Now()) {
 		return // cancelled while queued
 	}
 	s.metrics.jobsRunning.Add(1)
 	s.metrics.workersBusy.Add(1)
+	defer func() {
+		s.metrics.jobsRunning.Add(-1)
+		s.metrics.workersBusy.Add(-1)
+	}()
 	start := time.Now()
+
+	// Fault-injection points (no-ops without an injector): spurious
+	// cancellation, artificial slowness, and a worker panic.
+	if s.opts.Faults.Should(faultinject.CtxCancel) {
+		job.cancel()
+	}
+	if s.opts.Faults.Should(faultinject.JobSlow) {
+		sleepCtx(job.ctx, s.opts.Faults.SlowDuration())
+	}
+	if s.opts.Faults.Should(faultinject.WorkerPanic) {
+		panic("faultinject: worker panic")
+	}
 
 	var body []byte
 	var hit bool
@@ -215,8 +287,6 @@ func (s *Server) runJob(job *Job) {
 	now := time.Now()
 	job.finish(body, hit, ipcOf(body), err, now)
 
-	s.metrics.jobsRunning.Add(-1)
-	s.metrics.workersBusy.Add(-1)
 	state := job.State()
 	switch state {
 	case StateDone:
@@ -227,11 +297,28 @@ func (s *Server) runJob(job *Job) {
 		s.metrics.jobsCancelled.Add(1)
 	}
 	st := job.Status(false)
+	s.metrics.ObserveJobWall(now.Sub(st.Submitted))
 	s.opts.Logger.Printf("job id=%s kind=%s state=%s cache_hit=%t wall_ms=%.1f ipc=%.3f err=%q",
 		job.ID, job.Kind, state, st.CacheHit, float64(now.Sub(start))/float64(time.Millisecond), st.IPC, st.Error)
 }
 
-// runCached serves one run request through the result cache.
+// sleepCtx sleeps for d or until ctx is cancelled, whichever comes first —
+// injected slowness must not outlive a cancellation or deadline.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// runCached serves one run request through the result cache. The simulation
+// itself runs under ctx: cancelling the job stops the simulator within one
+// ctx-check interval (hetwire.CtxCheckInterval committed instructions).
 func (s *Server) runCached(ctx context.Context, req *hetwire.RunRequest) ([]byte, bool, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
@@ -240,9 +327,9 @@ func (s *Server) runCached(ctx context.Context, req *hetwire.RunRequest) ([]byte
 	if err != nil {
 		return nil, false, err
 	}
-	return s.cache.Do(key, func() ([]byte, error) {
+	body, hit, err := s.cache.Do(ctx, key, func() ([]byte, error) {
 		simStart := time.Now()
-		resp, err := req.Execute()
+		resp, err := req.ExecuteContext(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -250,6 +337,10 @@ func (s *Server) runCached(ctx context.Context, req *hetwire.RunRequest) ([]byte
 		s.metrics.instructions.Add(resp.Instructions)
 		return json.Marshal(resp)
 	})
+	if err == nil && !hit && s.opts.Faults.Should(faultinject.CacheCorrupt) {
+		s.cache.CorruptEntry(key)
+	}
+	return body, hit, err
 }
 
 // runSweep executes a sweep point by point, consulting the cache for each
@@ -297,47 +388,105 @@ func ipcOf(body []byte) float64 {
 }
 
 // submitRequest is the POST /v1/jobs body: either run-request fields inline
-// or a "sweep" object.
+// or a "sweep" object, plus an optional per-job deadline override.
 type submitRequest struct {
 	hetwire.RunRequest
 	Sweep *SweepRequest `json:"sweep,omitempty"`
+	// DeadlineMS overrides the server's default per-job wall-clock budget,
+	// capped at Options.MaxDeadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
-// submit validates, registers, and enqueues a job.
-func (s *Server) submit(sub *submitRequest) (*Job, error) {
+// deadlineFor resolves a submission's wall-clock budget: the request
+// override clamped to MaxDeadline, or the server default.
+func (s *Server) deadlineFor(sub *submitRequest) time.Duration {
+	d := s.opts.DefaultDeadline
+	if sub.DeadlineMS > 0 {
+		d = time.Duration(sub.DeadlineMS) * time.Millisecond
+		if d > s.opts.MaxDeadline {
+			d = s.opts.MaxDeadline
+		}
+	}
+	return d
+}
+
+// submit validates, registers, and enqueues a job. A non-empty idemKey makes
+// the submission idempotent: a retry carrying the same key returns the job
+// the first attempt created instead of enqueueing a duplicate.
+func (s *Server) submit(sub *submitRequest, idemKey string) (job *Job, replayed bool, err error) {
 	kind := "run"
 	if sub.Sweep != nil {
 		kind = "sweep"
-		if _, err := sub.Sweep.expand(); err != nil {
-			return nil, err
+		reqs, err := sub.Sweep.expand()
+		if err != nil {
+			return nil, false, err
+		}
+		if len(reqs) > s.opts.MaxSweepPoints {
+			return nil, false, fmt.Errorf("server: sweep expands to %d points, limit is %d", len(reqs), s.opts.MaxSweepPoints)
+		}
+		for i := range reqs {
+			if reqs[i].N > hetwire.MaxInstructions {
+				return nil, false, fmt.Errorf("server: sweep point n=%d exceeds the per-request limit of %d",
+					reqs[i].N, uint64(hetwire.MaxInstructions))
+			}
 		}
 	} else if err := sub.RunRequest.Validate(); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		return nil, ErrDraining
+		return nil, false, ErrDraining
+	}
+	if idemKey != "" {
+		if id, ok := s.idem[idemKey]; ok {
+			if j, ok := s.jobs[id]; ok {
+				s.mu.Unlock()
+				return j, true, nil
+			}
+		}
 	}
 	s.nextID++
-	job := newJob(s.baseCtx, fmt.Sprintf("j-%06d", s.nextID), kind, time.Now())
+	job = newJob(s.baseCtx, fmt.Sprintf("j-%06d", s.nextID), kind, s.deadlineFor(sub), time.Now())
 	job.Req = sub.RunRequest
 	job.Sweep = sub.Sweep
+	job.idemKey = idemKey
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
+	if idemKey != "" {
+		s.idem[idemKey] = job.ID
+	}
 	s.pruneLocked()
 	s.mu.Unlock()
 
 	if err := s.queue.push(job); err != nil {
 		s.mu.Lock()
-		delete(s.jobs, job.ID)
-		s.order = s.order[:len(s.order)-1]
+		s.dropLocked(job)
 		s.mu.Unlock()
-		return nil, err
+		if errors.Is(err, ErrQueueFull) {
+			s.metrics.jobsRejected.Add(1)
+		}
+		return nil, false, err
 	}
 	s.metrics.jobsSubmitted.Add(1)
-	return job, nil
+	return job, false, nil
+}
+
+// dropLocked removes a job record that never made it into the queue.
+// Called with s.mu held.
+func (s *Server) dropLocked(job *Job) {
+	delete(s.jobs, job.ID)
+	for i := len(s.order) - 1; i >= 0; i-- { // it is almost always last
+		if s.order[i] == job.ID {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	if job.idemKey != "" && s.idem[job.idemKey] == job.ID {
+		delete(s.idem, job.idemKey)
+	}
+	job.cancel() // release the deadline timer
 }
 
 // pruneLocked drops the oldest terminal job records past MaxJobs.
@@ -348,6 +497,9 @@ func (s *Server) pruneLocked() {
 			if j, ok := s.jobs[id]; ok && j.State().Terminal() {
 				delete(s.jobs, id)
 				s.order = append(s.order[:i], s.order[i+1:]...)
+				if j.idemKey != "" && s.idem[j.idemKey] == id {
+					delete(s.idem, j.idemKey)
+				}
 				pruned = true
 				break
 			}
@@ -358,6 +510,23 @@ func (s *Server) pruneLocked() {
 	}
 }
 
+// retryAfter estimates how long a rejected submitter should back off: the
+// queue's expected drain time, i.e. depth x observed mean job latency spread
+// over the worker pool, clamped to [1s, 5m] and rounded up to whole seconds
+// (the Retry-After header's unit).
+func (s *Server) retryAfter() time.Duration {
+	mean := s.metrics.MeanJobLatency(time.Second)
+	depth := s.queue.depth() + 1 // the job that would have queued
+	est := time.Duration(depth) * mean / time.Duration(s.opts.Workers)
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > 5*time.Minute {
+		est = 5 * time.Minute
+	}
+	return est.Round(time.Second)
+}
+
 // --- HTTP handlers ---
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -366,13 +535,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	job, err := s.submit(&sub)
+	job, replayed, err := s.submit(&sub, r.Header.Get("Idempotency-Key"))
 	if err != nil {
-		httpError(w, submitStatus(err), err)
+		s.submitError(w, err)
 		return
 	}
-	w.WriteHeader(http.StatusAccepted)
+	if replayed {
+		w.Header().Set("X-Hetwired-Idempotent", "replay")
+		w.WriteHeader(http.StatusOK)
+	} else {
+		w.WriteHeader(http.StatusAccepted)
+	}
 	writeJSON(w, job.Status(false))
+}
+
+// submitError maps a submission failure to its HTTP response; queue-full
+// rejections become 429 with a Retry-After hint derived from the observed
+// drain rate.
+func (s *Server) submitError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrQueueFull) {
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.retryAfter()/time.Second)))
+		httpError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	httpError(w, submitStatus(err), err)
 }
 
 // handleRunSync submits a run and blocks until it completes, returning the
@@ -383,9 +569,9 @@ func (s *Server) handleRunSync(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	job, err := s.submit(&submitRequest{RunRequest: req})
+	job, _, err := s.submit(&submitRequest{RunRequest: req}, r.Header.Get("Idempotency-Key"))
 	if err != nil {
-		httpError(w, submitStatus(err), err)
+		s.submitError(w, err)
 		return
 	}
 	select {
@@ -496,8 +682,9 @@ func (s *Server) lookup(id string) *Job {
 	return s.jobs[id]
 }
 
-// submitStatus maps submission errors to HTTP statuses: overload conditions
-// are 503 (retryable), bad requests 400.
+// submitStatus maps submission errors to HTTP statuses: draining is 503
+// (retry against another instance), bad requests 400. Queue-full is handled
+// earlier by submitError (429 + Retry-After).
 func submitStatus(err error) int {
 	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDraining) {
 		return http.StatusServiceUnavailable

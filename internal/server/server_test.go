@@ -23,7 +23,7 @@ func TestCacheLRUEviction(t *testing.T) {
 	body := func(i int) []byte { return []byte(fmt.Sprintf("body-%05d", i)) }
 	put := func(key string, i int) {
 		t.Helper()
-		if _, hit, err := c.Do(key, func() ([]byte, error) { return body(i), nil }); hit || err != nil {
+		if _, hit, err := c.Do(context.Background(), key, func() ([]byte, error) { return body(i), nil }); hit || err != nil {
 			t.Fatalf("Do(%s) hit=%t err=%v", key, hit, err)
 		}
 	}
@@ -48,7 +48,7 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 
 	// Oversized bodies bypass storage instead of flushing the cache.
-	if _, _, err := c.Do("huge", func() ([]byte, error) { return make([]byte, 100), nil }); err != nil {
+	if _, _, err := c.Do(context.Background(), "huge", func() ([]byte, error) { return make([]byte, 100), nil }); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := c.Get("huge"); ok {
@@ -70,7 +70,7 @@ func TestCacheCoalescesConcurrentComputes(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			body, hit, err := c.Do("k", func() ([]byte, error) {
+			body, hit, err := c.Do(context.Background(), "k", func() ([]byte, error) {
 				mu.Lock()
 				computes++
 				mu.Unlock()
@@ -488,12 +488,17 @@ func TestCancelRunningSweep(t *testing.T) {
 
 func TestQueueFullRejects(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 1})
-	// One running + one queued fills the system; the third gets 503.
+	// One running + one queued fills the system; the third gets 429 with a
+	// Retry-After hint sized from queue depth x observed mean job latency.
 	sawBusy := false
 	for i := 0; i < 8; i++ {
 		resp, _ := postJSON(t, ts.URL+"/v1/jobs", map[string]any{"benchmark": "gzip", "n": 300000})
-		if resp.StatusCode == http.StatusServiceUnavailable {
+		if resp.StatusCode == http.StatusTooManyRequests {
 			sawBusy = true
+			ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+			if err != nil || ra < 1 {
+				t.Errorf("Retry-After = %q, want a positive integer of seconds", resp.Header.Get("Retry-After"))
+			}
 			break
 		}
 	}
@@ -716,8 +721,8 @@ func TestConcurrentSubmitPollCancelStress(t *testing.T) {
 				switch code {
 				case http.StatusAccepted:
 					addID(st.ID)
-				case http.StatusServiceUnavailable:
-					// Queue full under pressure: acceptable backpressure.
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					// Queue full or draining: acceptable backpressure.
 				default:
 					t.Errorf("submit status = %d", code)
 				}

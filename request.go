@@ -1,6 +1,7 @@
 package hetwire
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -16,6 +17,21 @@ import (
 // leaves N zero (the paper measures 100M-instruction windows; the serving
 // default is small enough for interactive latency).
 const DefaultRunInstructions = 1_000_000
+
+// Admission limits enforced by RunRequest.Validate. They bound what the
+// serving API will accept — a single unvalidated request must not be able to
+// pin a worker for hours or address more threads than any topology has. The
+// library entry points (RunBenchmark etc.) are deliberately uncapped: batch
+// experiments legitimately run longer windows.
+const (
+	// MaxInstructions caps the per-program instruction budget at the paper's
+	// full measurement window (100M instructions, roughly a minute of
+	// simulation at observed throughput).
+	MaxInstructions = 100_000_000
+	// MaxBenchmarks caps a multiprogrammed request at the largest cluster
+	// count any topology provides (the 16-cluster hierarchical ring).
+	MaxBenchmarks = 16
+)
 
 // RunRequest describes one simulation as accepted by the hetwired serving
 // API: a single benchmark or kernel run, or a multiprogrammed run of
@@ -86,10 +102,21 @@ func (r *RunRequest) ResolveConfig() (Config, error) {
 	return cfg, nil
 }
 
-// Validate checks the request without running it.
+// Validate checks the request without running it, including the admission
+// limits: instruction budgets beyond MaxInstructions and multiprogrammed
+// requests with more programs than MaxBenchmarks (or than the resolved
+// topology has clusters) are rejected with instructive errors.
 func (r *RunRequest) Validate() error {
 	if (r.Benchmark == "") == (len(r.Benchmarks) == 0) {
 		return fmt.Errorf("hetwire: request must set exactly one of benchmark and benchmarks")
+	}
+	if r.N > MaxInstructions {
+		return fmt.Errorf("hetwire: instruction budget %d exceeds the per-request limit of %d (split the run, or use the library API for batch windows)",
+			r.N, uint64(MaxInstructions))
+	}
+	if len(r.Benchmarks) > MaxBenchmarks {
+		return fmt.Errorf("hetwire: %d programs exceed the multiprogrammed limit of %d (no topology has more clusters)",
+			len(r.Benchmarks), MaxBenchmarks)
 	}
 	names := r.Benchmarks
 	if r.Benchmark != "" {
@@ -104,8 +131,15 @@ func (r *RunRequest) Validate() error {
 		}
 		return fmt.Errorf("hetwire: unknown benchmark %q (see Benchmarks() and Kernels())", b)
 	}
-	_, err := r.ResolveConfig()
-	return err
+	cfg, err := r.ResolveConfig()
+	if err != nil {
+		return err
+	}
+	if n := len(r.Benchmarks); n > cfg.Topology.Clusters() {
+		return fmt.Errorf("hetwire: %d programs need %d clusters but the topology has %d",
+			n, n, cfg.Topology.Clusters())
+	}
+	return nil
 }
 
 // CacheKey returns the content-addressed identity of the request: a hex
@@ -176,6 +210,14 @@ type RunResponse struct {
 // synchronous and CPU-bound; callers wanting queueing, caching, or
 // cancellation use the hetwired daemon, which layers them on top.
 func (r *RunRequest) Execute() (*RunResponse, error) {
+	return r.ExecuteContext(context.Background())
+}
+
+// ExecuteContext is Execute with cooperative cancellation: the simulation
+// polls ctx every CtxCheckInterval committed instructions and returns ctx's
+// error (discarding the partial run) once it is cancelled. Completed runs
+// are bit-identical to Execute.
+func (r *RunRequest) ExecuteContext(ctx context.Context) (*RunResponse, error) {
 	if err := r.Validate(); err != nil {
 		return nil, err
 	}
@@ -190,7 +232,7 @@ func (r *RunRequest) Execute() (*RunResponse, error) {
 		N:        n,
 	}
 	if r.Benchmark != "" {
-		res, err := runAny(cfg, r.Benchmark, n)
+		res, err := runAnyContext(ctx, cfg, r.Benchmark, n)
 		if err != nil {
 			return nil, err
 		}
@@ -202,7 +244,7 @@ func (r *RunRequest) Execute() (*RunResponse, error) {
 		resp.Stats = &st
 		return resp, nil
 	}
-	threads, err := RunMultiprogrammed(cfg, r.Benchmarks, n)
+	threads, err := RunMultiprogrammedContext(ctx, cfg, r.Benchmarks, n)
 	if err != nil {
 		return nil, err
 	}
@@ -225,10 +267,3 @@ func (r *RunRequest) Execute() (*RunResponse, error) {
 	return resp, nil
 }
 
-// runAny runs a named workload, accepting both benchmark and kernel names.
-func runAny(cfg Config, name string, n uint64) (Result, error) {
-	if _, ok := workload.ByName(name); ok {
-		return RunBenchmark(cfg, name, n)
-	}
-	return RunKernel(cfg, name, n)
-}

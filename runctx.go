@@ -1,0 +1,101 @@
+package hetwire
+
+import (
+	"context"
+	"fmt"
+
+	"hetwire/internal/core"
+	"hetwire/internal/trace"
+	"hetwire/internal/workload"
+)
+
+// CtxCheckInterval re-exports the simulator's cancellation granularity: the
+// number of committed instructions between context polls. Cancelling a
+// running simulation stops it within one interval (low milliseconds at
+// observed throughput); results of completed runs are bit-identical whether
+// or not a context is supplied.
+const CtxCheckInterval = core.CtxCheckInterval
+
+// RunContext is Run with cooperative cancellation and the forward-progress
+// watchdog: ctx is polled every CtxCheckInterval committed instructions, and
+// the run aborts with a diagnostic error if the commit frontier stops
+// advancing (see core.NoProgressError). On error the partial statistics are
+// still returned in the Result.
+func (s *Simulator) RunContext(ctx context.Context, src trace.Stream, n uint64) (Result, error) {
+	st, err := s.proc.RunContext(ctx, src, n)
+	res := Result{Stats: st, Config: s.cfg}
+	if named, ok := src.(interface{ Name() string }); ok {
+		res.Benchmark = named.Name()
+	}
+	return res, err
+}
+
+// RunBenchmarkContext is RunBenchmark with cooperative cancellation: the
+// simulation stops within CtxCheckInterval committed instructions of ctx
+// being cancelled, returning ctx's error and the partial result.
+func RunBenchmarkContext(ctx context.Context, cfg Config, benchmark string, n uint64) (Result, error) {
+	prof, ok := workload.ByName(benchmark)
+	if !ok {
+		return Result{}, fmt.Errorf("hetwire: unknown benchmark %q (see Benchmarks())", benchmark)
+	}
+	sim, err := NewSimulator(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := sim.RunContext(ctx, workload.NewGenerator(prof), n)
+	res.Benchmark = benchmark
+	return res, err
+}
+
+// RunKernelContext is RunKernel with cooperative cancellation (see
+// RunBenchmarkContext).
+func RunKernelContext(ctx context.Context, cfg Config, kernel string, n uint64) (Result, error) {
+	prof, ok := workload.KernelByName(kernel)
+	if !ok {
+		return Result{}, fmt.Errorf("hetwire: unknown kernel %q (see Kernels())", kernel)
+	}
+	sim, err := NewSimulator(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := sim.RunContext(ctx, workload.NewGenerator(prof), n)
+	res.Benchmark = kernel
+	return res, err
+}
+
+// RunMultiprogrammedContext is RunMultiprogrammed with cooperative
+// cancellation: ctx is polled every CtxCheckInterval committed instructions
+// summed across threads. On cancellation the partial per-thread results are
+// returned alongside ctx's error.
+func RunMultiprogrammedContext(ctx context.Context, cfg Config, benchmarks []string, n uint64) ([]ThreadResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(benchmarks) == 0 || len(benchmarks) > cfg.Topology.Clusters() {
+		return nil, fmt.Errorf("hetwire: need between 1 and %d threads, got %d",
+			cfg.Topology.Clusters(), len(benchmarks))
+	}
+	profs, err := multiprogProfiles(benchmarks)
+	if err != nil {
+		return nil, err
+	}
+	streams := make([]trace.Stream, len(profs))
+	for i, prof := range profs {
+		streams[i] = workload.NewGenerator(prof)
+	}
+	res, runErr := core.RunMultiprogramContext(ctx, cfg, streams, n)
+	out := make([]ThreadResult, len(res))
+	for i, r := range res {
+		out[i] = ThreadResult{Benchmark: benchmarks[i], Clusters: r.Clusters, Stats: r.Stats}
+	}
+	return out, runErr
+}
+
+// runAnyContext is runAny with cancellation, accepting both benchmark and
+// kernel names.
+func runAnyContext(ctx context.Context, cfg Config, name string, n uint64) (Result, error) {
+	if _, ok := workload.ByName(name); ok {
+		return RunBenchmarkContext(ctx, cfg, name, n)
+	}
+	return RunKernelContext(ctx, cfg, name, n)
+}
