@@ -15,9 +15,11 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -50,6 +52,20 @@ type Report struct {
 	GoVersion string        `json:"go_version"`
 	Quick     bool          `json:"quick,omitempty"`
 	Scenarios []Measurement `json:"scenarios"`
+	// ProbeOverhead compares one scenario with telemetry probes disabled vs
+	// enabled (streaming to a discarded trace); the disabled path is required
+	// to stay within noise of the plain simulator.
+	ProbeOverhead *ProbeOverhead `json:"probe_overhead,omitempty"`
+}
+
+// ProbeOverhead is the probes-off vs probes-on cost comparison.
+type ProbeOverhead struct {
+	Scenario
+	OffInstrsPerSec float64 `json:"off_instrs_per_sec"`
+	OnInstrsPerSec  float64 `json:"on_instrs_per_sec"`
+	// OverheadPct is how much slower the probed run was, in percent of the
+	// unprobed rate (negative means the probed run measured faster — noise).
+	OverheadPct float64 `json:"overhead_pct"`
 }
 
 var models = []struct {
@@ -99,6 +115,49 @@ func measure(sc Scenario, id config.ModelID, topo config.Topology) (Measurement,
 	return m, nil
 }
 
+// measureProbeOverhead runs one scenario through ExecuteContext (no probe)
+// and ExecuteProbed (interval telemetry to a discarded writer), best of three
+// each, and reports the throughput delta. Both paths run the identical
+// request, so the only difference is the probe machinery itself.
+func measureProbeOverhead(count uint64) (*ProbeOverhead, error) {
+	sc := Scenario{Model: "V", Topology: "crossbar4", Benchmark: "gcc", N: count}
+	req := &hetwire.RunRequest{Benchmark: sc.Benchmark, Model: sc.Model, N: sc.N}
+	best := func(run func() error) (float64, error) {
+		var rate float64
+		for i := 0; i < 3; i++ {
+			runtime.GC()
+			start := time.Now()
+			if err := run(); err != nil {
+				return 0, err
+			}
+			if r := float64(count) / time.Since(start).Seconds(); r > rate {
+				rate = r
+			}
+		}
+		return rate, nil
+	}
+	off, err := best(func() error {
+		_, err := req.ExecuteContext(context.Background())
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	on, err := best(func() error {
+		_, err := req.ExecuteProbed(context.Background(), io.Discard)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ProbeOverhead{
+		Scenario:        sc,
+		OffInstrsPerSec: off,
+		OnInstrsPerSec:  on,
+		OverheadPct:     (off - on) / off * 100,
+	}, nil
+}
+
 func main() {
 	var (
 		out   = flag.String("out", "BENCH_hetwire.json", "output file ('-' for stdout)")
@@ -131,6 +190,15 @@ func main() {
 			}
 		}
 	}
+
+	po, err := measureProbeOverhead(count)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: probe overhead: %v\n", err)
+		os.Exit(1)
+	}
+	rep.ProbeOverhead = po
+	fmt.Fprintf(os.Stderr, "probe overhead %s/%s/%s n=%-7d %10.0f instrs/s off %10.0f instrs/s on (%+.2f%%)\n",
+		po.Model, po.Topology, po.Benchmark, po.N, po.OffInstrsPerSec, po.OnInstrsPerSec, po.OverheadPct)
 
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -27,13 +27,17 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
 	"syscall"
 	"time"
 
@@ -63,6 +67,7 @@ func serve(args []string) {
 		faults     = fs.String("faults", os.Getenv("HETWIRE_FAULTS"), "fault-injection spec (default $HETWIRE_FAULTS; empty = none)")
 		drainT     = fs.Duration("drain-timeout", 30*time.Second, "how long to let jobs finish on SIGTERM")
 		quiet      = fs.Bool("quiet", false, "suppress per-request logging")
+		debugAddr  = fs.String("debug-addr", "", "optional introspection listener (host:port) serving /debug/pprof and /debug/vars; keep it off public interfaces")
 	)
 	fs.Parse(args)
 
@@ -87,6 +92,20 @@ func serve(args []string) {
 		Faults:          injector,
 		Logger:          reqLogger,
 	})
+	srv.Metrics().SetBuildInfo(buildVersion(), runtime.Version())
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			logger.Fatalf("debug listen %s: %v", *debugAddr, err)
+		}
+		fmt.Printf("hetwired: debug listening on %s (/debug/pprof, /debug/vars)\n", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, debugMux()); err != nil {
+				logger.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -125,6 +144,29 @@ func serve(args []string) {
 	fmt.Println("hetwired: drained, exiting")
 }
 
+// debugMux serves the runtime-introspection endpoints on a dedicated mux —
+// deliberately separate from the API handler so profiling surface is only
+// exposed where -debug-addr points (typically loopback).
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// buildVersion reports the module version stamped into the binary, or
+// "devel" for plain `go build` / `go run` trees.
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
+}
+
 // runClient is the fault-tolerant client mode: submit one run idempotently,
 // await the job through retries and backoff, and print the result JSON.
 func runClient(args []string) {
@@ -138,6 +180,7 @@ func runClient(args []string) {
 		deadlineMS = fs.Int64("deadline-ms", 0, "per-job wall-clock deadline override in ms")
 		timeout    = fs.Duration("timeout", 5*time.Minute, "overall client timeout")
 		attempts   = fs.Int("retries", 6, "max attempts per API operation")
+		traceID    = fs.String("trace", "", "trace ID to stamp on every request (default: minted)")
 	)
 	fs.Parse(args)
 	if *bench == "" {
@@ -151,21 +194,23 @@ func runClient(args []string) {
 		fmt.Fprintf(os.Stderr, "hetwired run: %v\n", err)
 		os.Exit(2)
 	}
-	cl := client.New(client.Options{BaseURL: *serverURL, MaxAttempts: *attempts})
+	cl := client.New(client.Options{BaseURL: *serverURL, MaxAttempts: *attempts, TraceID: *traceID})
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
 	resp, st, err := cl.Run(ctx, req, *deadlineMS)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hetwired run: %v\n", err)
+		fmt.Fprintf(os.Stderr, "hetwired run: trace=%s %v\n", cl.TraceID(), err)
 		os.Exit(1)
 	}
 	out := struct {
-		Job string `json:"job"`
+		Job   string `json:"job"`
+		Trace string `json:"trace"`
 		*hetwire.RunResponse
-		CacheHit bool    `json:"cache_hit"`
-		WallMS   float64 `json:"wall_ms"`
-	}{Job: st.ID, RunResponse: resp, CacheHit: st.CacheHit, WallMS: st.WallMS}
+		CacheHit bool          `json:"cache_hit"`
+		WallMS   float64       `json:"wall_ms"`
+		Spans    []server.Span `json:"spans,omitempty"`
+	}{Job: st.ID, Trace: st.TraceID, RunResponse: resp, CacheHit: st.CacheHit, WallMS: st.WallMS, Spans: st.Spans}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	enc.Encode(out)

@@ -1,0 +1,181 @@
+// Command hetwiretrace records and inspects wire-class telemetry traces
+// (hetwire-trace/v1 JSONL, see internal/obs).
+//
+//	hetwiretrace record -benchmark gcc -model V -n 100000 -o gcc.trace
+//	hetwiretrace summary gcc.trace           # per-class utilization table
+//	hetwiretrace summary -json gcc.trace     # machine-readable summary
+//	hetwiretrace diff a.trace b.trace        # metric-by-metric comparison
+//	hetwiretrace timeline -width 80 gcc.trace
+//
+// record runs the simulation in-process (no daemon needed) with the probe
+// attached; the other verbs work on any trace file, including ones captured
+// by a probed hetwired worker. Traces are deterministic, so diffing two
+// recordings of the same scenario shows exactly the metrics a config change
+// moved.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hetwire"
+	"hetwire/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = cmdRecord(os.Args[2:])
+	case "summary":
+		err = cmdSummary(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
+	case "timeline":
+		err = cmdTimeline(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "hetwiretrace: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetwiretrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  hetwiretrace record  -benchmark B [-model M] [-clusters C] [-n N] [-o FILE]
+  hetwiretrace summary [-json] FILE
+  hetwiretrace diff    [-json] [-top K] FILE_A FILE_B
+  hetwiretrace timeline [-width W] FILE
+`)
+}
+
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	var (
+		benchmark = fs.String("benchmark", "", "benchmark or kernel name (required)")
+		model     = fs.String("model", "", "interconnect model I..X (default: config baseline)")
+		clusters  = fs.Int("clusters", 0, "cluster count override (4 or 16)")
+		n         = fs.Uint64("n", 100_000, "instruction budget")
+		out       = fs.String("o", "-", "trace output file ('-' for stdout)")
+	)
+	fs.Parse(args)
+	if *benchmark == "" {
+		return fmt.Errorf("record: -benchmark is required")
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	req := &hetwire.RunRequest{Benchmark: *benchmark, Model: *model, Clusters: *clusters, N: *n}
+	resp, err := req.ExecuteProbed(context.Background(), w)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "recorded %s model=%s clusters=%d n=%d ipc=%.4f\n",
+		resp.Benchmark, resp.Model, resp.Clusters, resp.N, resp.IPC)
+	return nil
+}
+
+func readTraceFile(path string) (obs.Header, []obs.Sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return obs.Header{}, nil, err
+	}
+	defer f.Close()
+	return obs.ReadTrace(f)
+}
+
+func summarizeFile(path string) (obs.Summary, error) {
+	hdr, samples, err := readTraceFile(path)
+	if err != nil {
+		return obs.Summary{}, err
+	}
+	return obs.Summarize(hdr, samples)
+}
+
+func cmdSummary(args []string) error {
+	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the summary as JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("summary: need exactly one trace file")
+	}
+	sum, err := summarizeFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(sum)
+	}
+	fmt.Print(obs.FormatSummary(sum))
+	return nil
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit diff rows as JSON")
+	top := fs.Int("top", 0, "show only the K largest movers (0 = all, schema order)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff: need exactly two trace files")
+	}
+	a, err := summarizeFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := summarizeFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	rows := obs.DiffSummaries(a, b)
+	if *top > 0 {
+		obs.SortRowsByMagnitude(rows)
+		if len(rows) > *top {
+			rows = rows[:*top]
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rows)
+	}
+	fmt.Print(obs.FormatDiff(rows))
+	return nil
+}
+
+func cmdTimeline(args []string) error {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	width := fs.Int("width", 64, "timeline width in buckets")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("timeline: need exactly one trace file")
+	}
+	hdr, samples, err := readTraceFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Print(obs.Timeline(hdr, samples, *width))
+	return nil
+}

@@ -97,6 +97,58 @@ func TestCLIPipeview(t *testing.T) {
 	}
 }
 
+// TestCLIHetwiretrace: record writes a parseable trace; summary, diff, and
+// timeline render it. Two recordings of the same scenario are byte-identical
+// (deterministic traces), so their diff reports no movement.
+func TestCLIHetwiretrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	dir := t.TempDir()
+	a, b := dir+"/a.trace", dir+"/b.trace"
+	runCmd(t, "./cmd/hetwiretrace", "record", "-benchmark", "gcc", "-model", "V", "-n", "40000", "-o", a)
+	runCmd(t, "./cmd/hetwiretrace", "record", "-benchmark", "gcc", "-model", "V", "-n", "40000", "-o", b)
+	rawA, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawB, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rawA, rawB) {
+		t.Error("two recordings of the same scenario differ; traces must be deterministic")
+	}
+	if !strings.HasPrefix(string(rawA), `{"schema":"hetwire-trace/v1"`) {
+		t.Errorf("trace does not lead with the versioned header: %.80s", rawA)
+	}
+
+	out := runCmd(t, "./cmd/hetwiretrace", "summary", a)
+	for _, want := range []string{"benchmark=gcc", "class", "W", "PW", "B", "L", "utilization", "ipc="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+
+	out = runCmd(t, "./cmd/hetwiretrace", "diff", a, b)
+	if !strings.Contains(out, "no differing metrics") {
+		t.Errorf("diff of identical traces reported movement:\n%s", out)
+	}
+
+	// A different model must move metrics.
+	c := dir + "/c.trace"
+	runCmd(t, "./cmd/hetwiretrace", "record", "-benchmark", "gcc", "-model", "I", "-n", "40000", "-o", c)
+	out = runCmd(t, "./cmd/hetwiretrace", "diff", "-top", "5", a, c)
+	if !strings.Contains(out, "metric") || !strings.Contains(out, "%") {
+		t.Errorf("diff output malformed:\n%s", out)
+	}
+
+	out = runCmd(t, "./cmd/hetwiretrace", "timeline", "-width", "32", a)
+	if !strings.Contains(out, "utilization timeline") || !strings.Contains(out, "B   |") {
+		t.Errorf("timeline output malformed:\n%s", out)
+	}
+}
+
 // TestCLIHetwiredServes: the daemon starts on a random port, serves a run,
 // serves the identical request again from the result cache with a
 // byte-identical body, exposes the hit on /metrics, and drains cleanly on
@@ -111,7 +163,8 @@ func TestCLIHetwiredServes(t *testing.T) {
 		t.Fatalf("building hetwired: %v\n%s", err, out)
 	}
 
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2", "-quiet")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2", "-quiet",
+		"-debug-addr", "127.0.0.1:0")
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -129,10 +182,14 @@ func TestCLIHetwiredServes(t *testing.T) {
 		}
 	}()
 
-	// The first stdout line announces the bound address.
+	// Startup prints the debug listener's address first, then the API's.
 	sc := bufio.NewScanner(stdout)
 	if !sc.Scan() {
 		t.Fatal("no startup line from hetwired")
+	}
+	debugLine := sc.Text()
+	if !sc.Scan() {
+		t.Fatal("no API startup line from hetwired")
 	}
 	line := sc.Text()
 	var rest string
@@ -142,8 +199,14 @@ func TestCLIHetwiredServes(t *testing.T) {
 		}
 		done <- cmd.Wait()
 	}()
+	const debugMarker = "debug listening on "
+	i := strings.Index(debugLine, debugMarker)
+	if i < 0 {
+		t.Fatalf("debug startup line %q missing %q", debugLine, debugMarker)
+	}
+	debugBase := "http://" + strings.Fields(debugLine[i+len(debugMarker):])[0]
 	const marker = "listening on "
-	i := strings.Index(line, marker)
+	i = strings.Index(line, marker)
 	if i < 0 {
 		t.Fatalf("startup line %q missing %q", line, marker)
 	}
@@ -187,6 +250,55 @@ func TestCLIHetwiredServes(t *testing.T) {
 	resp.Body.Close()
 	if !strings.Contains(string(metrics), "hetwired_cache_hits_total 1") {
 		t.Errorf("metrics missing the cache hit:\n%.400s", metrics)
+	}
+	if !strings.Contains(string(metrics), "hetwired_build_info{version=") {
+		t.Errorf("metrics missing hetwired_build_info:\n%.400s", metrics)
+	}
+	if !strings.Contains(string(metrics), `hetwired_worker_busy_seconds_total{worker="0"}`) {
+		t.Errorf("metrics missing per-worker busy counters:\n%.400s", metrics)
+	}
+
+	// Requests echo their trace ID; daemon mints one when the client sends none.
+	traceReq, _ := http.NewRequest("GET", base+"/healthz", nil)
+	traceReq.Header.Set("X-Hetwire-Trace", "cli-itest-1")
+	traceResp, err := http.DefaultClient.Do(traceReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, traceResp.Body)
+	traceResp.Body.Close()
+	if got := traceResp.Header.Get("X-Hetwire-Trace"); got != "cli-itest-1" {
+		t.Errorf("trace header echo = %q, want cli-itest-1", got)
+	}
+
+	// The debug listener serves expvar and pprof on its own port.
+	dresp, err := http.Get(debugBase + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dvars, _ := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK || !strings.Contains(string(dvars), `"memstats"`) {
+		t.Errorf("GET /debug/vars: %d, body missing memstats:\n%.200s", dresp.StatusCode, dvars)
+	}
+	presp, err := http.Get(debugBase + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, presp.Body)
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Errorf("GET /debug/pprof/cmdline: %d", presp.StatusCode)
+	}
+	// The API mux must NOT expose pprof.
+	aresp, err := http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, aresp.Body)
+	aresp.Body.Close()
+	if aresp.StatusCode != http.StatusNotFound {
+		t.Errorf("API mux served /debug/pprof/cmdline with %d, want 404", aresp.StatusCode)
 	}
 
 	// SIGTERM must drain gracefully, not abort.

@@ -50,6 +50,11 @@ type Options struct {
 	// which the next call probes the daemon (half-open).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// TraceID is sent as X-Hetwire-Trace on every request so daemon logs,
+	// job status, and span timings correlate back to this client. Empty
+	// mints a fresh ID at construction — one per client, covering the whole
+	// submit/poll conversation of each operation.
+	TraceID string
 }
 
 func (o Options) withDefaults() Options {
@@ -81,10 +86,14 @@ func (o Options) withDefaults() Options {
 // is open.
 var ErrCircuitOpen = errors.New("client: circuit breaker open (daemon looked down recently)")
 
-// APIError is a non-retryable HTTP failure from the daemon.
+// APIError is a non-retryable HTTP failure from the daemon. Reason, when
+// present, is the daemon's machine-readable rejection code (hetwire.Reason*
+// values plus "queue_full"/"draining"/"bad_json"); callers can branch on it
+// without parsing the message.
 type APIError struct {
 	Status  int
 	Message string
+	Reason  string
 }
 
 func (e *APIError) Error() string {
@@ -108,6 +117,9 @@ type Client struct {
 // New builds a client for the daemon at opts.BaseURL.
 func New(opts Options) *Client {
 	opts = opts.withDefaults()
+	if opts.TraceID == "" {
+		opts.TraceID = server.MintTraceID()
+	}
 	return &Client{
 		opts:   opts,
 		jitter: xrand.New(opts.JitterSeed),
@@ -115,6 +127,9 @@ func New(opts Options) *Client {
 		sleep:  sleepCtx,
 	}
 }
+
+// TraceID returns the identifier this client stamps on every request.
+func (c *Client) TraceID() string { return c.opts.TraceID }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {
 	t := time.NewTimer(d)
@@ -258,6 +273,7 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, ide
 	if idemKey != "" {
 		req.Header.Set("Idempotency-Key", idemKey)
 	}
+	req.Header.Set(server.TraceHeader, c.opts.TraceID)
 	resp, err := c.opts.HTTPClient.Do(req)
 	if err != nil {
 		c.breakerRecord(false)
@@ -282,13 +298,14 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, ide
 			}
 		}
 		var msg struct {
-			Error string `json:"error"`
+			Error  string `json:"error"`
+			Reason string `json:"reason"`
 		}
 		_ = json.Unmarshal(raw, &msg)
 		if msg.Error == "" {
 			msg.Error = string(raw)
 		}
-		return retryAfter, &APIError{Status: resp.StatusCode, Message: msg.Error}
+		return retryAfter, &APIError{Status: resp.StatusCode, Message: msg.Error, Reason: msg.Reason}
 	}
 	c.breakerRecord(true)
 	if out != nil {

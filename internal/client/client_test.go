@@ -270,3 +270,72 @@ func TestClientServerIntegration(t *testing.T) {
 		t.Errorf("replay landed on job %s, first run was %s", st2.ID, st.ID)
 	}
 }
+
+// TestClientTracePropagation: every request carries the client's trace ID,
+// the daemon threads it through to the job, and the finished status returns
+// populated per-phase spans — the full client→daemon→simulator chain.
+func TestClientTracePropagation(t *testing.T) {
+	s := server.New(server.Options{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+
+	cl := New(Options{BaseURL: ts.URL, TraceID: "client-trace-42"})
+	if cl.TraceID() != "client-trace-42" {
+		t.Fatalf("TraceID() = %q", cl.TraceID())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	resp, st, err := cl.Run(ctx, &hetwire.RunRequest{Benchmark: "gzip", N: 20000}, 0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if resp.IPC <= 0 {
+		t.Fatalf("result = %+v", resp)
+	}
+	if st.TraceID != "client-trace-42" {
+		t.Errorf("job trace_id = %q, want the client's ID", st.TraceID)
+	}
+	names := make(map[string]bool, len(st.Spans))
+	for _, sp := range st.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"queue_wait", "cache_lookup", "sim_run", "result_encode"} {
+		if !names[want] {
+			t.Errorf("spans missing %q: %+v", want, st.Spans)
+		}
+	}
+
+	// An unset TraceID mints one per client.
+	minted := New(Options{BaseURL: ts.URL})
+	if minted.TraceID() == "" || minted.TraceID() == cl.TraceID() {
+		t.Errorf("minted trace ID = %q", minted.TraceID())
+	}
+}
+
+// TestAPIErrorCarriesReason: the daemon's machine-readable rejection code
+// survives into APIError.Reason.
+func TestAPIErrorCarriesReason(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if got := r.Header.Get(server.TraceHeader); got != "reason-test" {
+			t.Errorf("request trace header = %q", got)
+		}
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"unknown benchmark \"nope\"","reason":"unknown_benchmark"}`))
+	}))
+	defer ts.Close()
+
+	c, _ := newFastClient(t, ts.URL, Options{TraceID: "reason-test"})
+	_, err := c.SubmitRun(context.Background(), &hetwire.RunRequest{Benchmark: "gzip", N: 5000}, 0)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want APIError", err)
+	}
+	if apiErr.Reason != hetwire.ReasonUnknownBenchmark {
+		t.Errorf("reason = %q, want %q", apiErr.Reason, hetwire.ReasonUnknownBenchmark)
+	}
+}

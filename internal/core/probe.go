@@ -1,0 +1,80 @@
+package core
+
+import (
+	"hetwire/internal/wires"
+)
+
+// ProbeInterval is the committed-instruction cadence at which an attached
+// Probe receives samples. It deliberately equals CtxCheckInterval: the probe
+// rides the context-poll branch that already exists in RunContext, so an
+// attached probe adds no new branch to the per-instruction hot loop and a nil
+// probe costs exactly one pointer comparison per interval.
+const ProbeInterval = CtxCheckInterval
+
+// ProbeSample is one read-only interval snapshot of the running machine.
+// Every field is copied out of the simulator; a probe holds no references
+// into live state and cannot perturb the simulation. Completed runs are
+// bit-identical with and without a probe attached — the golden corpus pins
+// this contract.
+type ProbeSample struct {
+	// Committed is the number of instructions retired at the sample point.
+	Committed uint64
+	// Cycle is the commit-frontier cycle relative to the stats baseline
+	// (i.e. excluding warmup).
+	Cycle uint64
+	// Final marks the end-of-run sample emitted after the last instruction
+	// (also emitted on cancellation or watchdog abort, with partial counts).
+	Final bool
+	// Stats is the cumulative statistics readout at the sample point, with
+	// the per-class network counters (Net), cycle count, and link inventory
+	// filled in — the same shape finalize produces at end of run.
+	Stats Stats
+	// LSQDepth is the number of in-flight stores resident in the centralized
+	// load/store queue.
+	LSQDepth int
+	// IQOccupancy is the total resident issue-queue entries summed over all
+	// clusters (int + fp). Lazy expiry makes this an upper bound on true
+	// occupancy; reading it touches no scheduler state.
+	IQOccupancy int
+	// RenameOccupancy is the total resident rename-register-pool entries
+	// summed over all clusters, with the same lazy-expiry caveat.
+	RenameOccupancy int
+}
+
+// Probe receives periodic interval samples from a running simulation: every
+// ProbeInterval committed instructions plus one final sample. The sample
+// pointer is only valid for the duration of the call; implementations that
+// retain it must copy. Implementations must not call back into the
+// Processor.
+type Probe interface {
+	ProbeSample(s *ProbeSample)
+}
+
+// SetProbe attaches a telemetry probe (nil detaches). The probe is strictly
+// an observer: attaching one changes no simulated behaviour, and a nil probe
+// adds no work to the run beyond one pointer comparison per ProbeInterval.
+func (p *Processor) SetProbe(pr Probe) { p.probe = pr }
+
+// emitProbe builds one interval snapshot and hands it to the attached probe.
+// Only called when p.probe != nil, from the interval branch of RunContext and
+// from the end-of-run path — never from the per-instruction hot loop.
+func (p *Processor) emitProbe(final bool) {
+	s := ProbeSample{
+		Committed: p.s.Instructions,
+		Cycle:     p.lastCommit - p.statsBase,
+		Final:     final,
+		Stats:     p.s,
+		LSQDepth:  len(p.lsq.stores),
+	}
+	s.Stats.Cycles = s.Cycle
+	for i, c := range []wires.Class{wires.B, wires.PW, wires.L} {
+		s.Stats.Net[i] = p.net.StatsFor(c)
+	}
+	s.Stats.WaitCycles = p.net.TotalWaitCycles()
+	s.Stats.LinkInventory = p.net.LinkInventory()
+	for _, cl := range p.clusters {
+		s.IQOccupancy += cl.intIQ.Occupied() + cl.fpIQ.Occupied()
+		s.RenameOccupancy += cl.intRegs.Occupied() + cl.fpRegs.Occupied()
+	}
+	p.probe.ProbeSample(&s)
+}

@@ -143,6 +143,11 @@ type Processor struct {
 	// would show. Used by debugging tools and tests; nil costs nothing.
 	Observer func(InstrTiming)
 
+	// probe, when non-nil, receives read-only interval samples every
+	// ProbeInterval committed instructions (see SetProbe). Checked only on
+	// the context-poll cadence, never in the per-instruction loop.
+	probe Probe
+
 	// Statistics.
 	s Stats
 }

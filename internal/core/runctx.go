@@ -60,22 +60,32 @@ func (p *Processor) RunContext(ctx context.Context, src trace.Stream, n uint64) 
 	for i := uint64(0); i < n; i++ {
 		if i&(CtxCheckInterval-1) == 0 && i != 0 {
 			if err := ctx.Err(); err != nil {
-				p.finalize()
-				return p.s, err
+				return p.finish(err)
 			}
 			if err := p.checkProgress(prevFrontier, i); err != nil {
-				p.finalize()
-				return p.s, err
+				return p.finish(err)
 			}
 			prevFrontier = p.lastCommit
+			if p.probe != nil {
+				p.emitProbe(false)
+			}
 		}
 		if !src.Next(&ins) {
 			break
 		}
 		p.step(&ins)
 	}
+	return p.finish(nil)
+}
+
+// finish finalizes the run, emits the probe's final sample (partial counts
+// on an aborted run), and returns the statistics with the given error.
+func (p *Processor) finish(err error) (Stats, error) {
 	p.finalize()
-	return p.s, nil
+	if p.probe != nil {
+		p.emitProbe(true)
+	}
+	return p.s, err
 }
 
 // RunMultiprogramContext is RunMultiprogram with cooperative cancellation

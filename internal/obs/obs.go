@@ -1,0 +1,295 @@
+// Package obs is the simulator's sampling telemetry layer: a Recorder
+// implements core.Probe and streams periodic interval samples — per-wire-
+// class link traffic and occupancy, interconnect dynamic/leakage energy
+// deltas, LSQ/issue-queue occupancy, stall-reason breakdowns, and the
+// L-wire technique hit rates — as a compact JSONL trace with a versioned
+// header. The package also reads traces back and reduces them to summaries
+// and diffs for the hetwiretrace CLI.
+//
+// The probe contract is strictly read-only: attaching a Recorder changes no
+// simulated behaviour (golden-corpus hashes are bit-identical with probes on
+// and off), and a run with no probe attached pays nothing beyond one pointer
+// comparison per sampling interval. The trace itself is deterministic — no
+// timestamps, no environment — so two traces of the same (config, workload,
+// n) are byte-identical and diff cleanly.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"hetwire/internal/core"
+	"hetwire/internal/energy"
+)
+
+// Schema identifies the trace format. The header is versioned so readers
+// can reject traces written by a future incompatible writer instead of
+// misparsing them; additive field changes keep the same version.
+const Schema = "hetwire-trace/v1"
+
+// Header is the first JSONL record of a trace: run identity plus the static
+// facts a reader needs to interpret the samples (sampling interval, wire
+// inventory for utilization, the L-plane energy mode).
+type Header struct {
+	Schema    string `json:"schema"`
+	Benchmark string `json:"benchmark"`
+	Model     string `json:"model"`
+	Clusters  int    `json:"clusters"`
+	N         uint64 `json:"n"`
+	// Interval is the sampling cadence in committed instructions.
+	Interval uint64 `json:"interval"`
+	// ConfigHash is the canonical hash of the resolved machine configuration
+	// (hetwire.ConfigHash), tying the trace to exactly one machine.
+	ConfigHash string `json:"config_hash,omitempty"`
+	// Inventory is the physical wire-length units per class present in the
+	// network, keyed by class name; utilization = bit-hops/(inventory·cycles).
+	Inventory map[string]float64 `json:"inventory,omitempty"`
+	// TransmissionLineL records whether L-plane dynamic energy is scaled for
+	// transmission-line signalling (energy.RunMeasurement.TransmissionLineL).
+	TransmissionLineL bool `json:"transmission_line_l,omitempty"`
+}
+
+// ClassSample is the cumulative per-wire-class traffic readout at one
+// sample point (mirrors noc.ClassStats).
+type ClassSample struct {
+	Transfers  uint64 `json:"transfers"`
+	Bits       uint64 `json:"bits"`
+	BitHops    uint64 `json:"bit_hops"`
+	WaitCycles uint64 `json:"wait_cycles"`
+	MaxWait    uint64 `json:"max_wait"`
+}
+
+// Classes carries the per-plane samples. W wires are the paper's design
+// reference, not an instantiated link plane, so they have no traffic row.
+type Classes struct {
+	B  ClassSample `json:"B"`
+	PW ClassSample `json:"PW"`
+	L  ClassSample `json:"L"`
+}
+
+// Stalls is the cumulative stall-reason breakdown (cycle sums over
+// committed instructions, from core.Stats).
+type Stalls struct {
+	Dispatch    uint64 `json:"dispatch"`
+	SrcWait     uint64 `json:"src_wait"`
+	FUWait      uint64 `json:"fu_wait"`
+	LoadLatency uint64 `json:"load_latency"`
+	LSQWait     uint64 `json:"lsq_wait"`
+}
+
+// Techniques is the cumulative readout of the paper's L-wire mechanisms:
+// narrow-operand transfers and the partial-address (early-disambiguation)
+// cache pipeline.
+type Techniques struct {
+	OperandTransfers   uint64 `json:"operand_transfers"`
+	NarrowTransfers    uint64 `json:"narrow_transfers"`
+	NarrowEligible     uint64 `json:"narrow_eligible"`
+	NarrowMispredicted uint64 `json:"narrow_mispredicted"`
+	PartialChecks      uint64 `json:"partial_checks"`
+	PartialFalseDeps   uint64 `json:"partial_false_deps"`
+	StoreForwards      uint64 `json:"store_forwards"`
+}
+
+// Energy is the interconnect energy accounting at one sample point:
+// cumulative normalised units (internal/energy weights) plus the delta
+// since the previous sample of the same trace.
+type Energy struct {
+	Dynamic      float64 `json:"dynamic"`
+	Leakage      float64 `json:"leakage"`
+	DynamicDelta float64 `json:"dynamic_delta"`
+	LeakageDelta float64 `json:"leakage_delta"`
+}
+
+// Sample is one JSONL interval record. Counters are cumulative since the
+// stats baseline; readers difference consecutive samples for per-interval
+// rates.
+type Sample struct {
+	Committed       uint64     `json:"committed"`
+	Cycle           uint64     `json:"cycle"`
+	Final           bool       `json:"final,omitempty"`
+	IPC             float64    `json:"ipc"`
+	Classes         Classes    `json:"classes"`
+	LSQDepth        int        `json:"lsq_depth"`
+	IQOccupancy     int        `json:"iq_occupancy"`
+	RenameOccupancy int        `json:"rename_occupancy"`
+	Stalls          Stalls     `json:"stalls"`
+	Techniques      Techniques `json:"techniques"`
+	Energy          Energy     `json:"energy"`
+}
+
+// classSample converts one noc.ClassStats-shaped readout.
+func classSample(s core.Stats, idx int) ClassSample {
+	cs := s.Net[idx]
+	return ClassSample{
+		Transfers:  cs.Transfers,
+		Bits:       cs.Bits,
+		BitHops:    cs.BitHops,
+		WaitCycles: cs.WaitCycles,
+		MaxWait:    cs.MaxWait,
+	}
+}
+
+// Recorder implements core.Probe: it converts each ProbeSample into a trace
+// Sample and streams it as one JSON line. The header is written on the first
+// sample (the wire inventory arrives with it). Not safe for concurrent use;
+// a Recorder serves one run.
+type Recorder struct {
+	w           *bufio.Writer
+	hdr         Header
+	wroteHeader bool
+	prevDyn     float64
+	prevLkg     float64
+	samples     int
+	err         error
+}
+
+// NewRecorder builds a recorder streaming to w. The header's Schema and
+// Interval are filled in; the caller supplies run identity (benchmark,
+// model, clusters, n, config hash) and the L-plane energy mode.
+func NewRecorder(w io.Writer, hdr Header) *Recorder {
+	hdr.Schema = Schema
+	hdr.Interval = core.ProbeInterval
+	return &Recorder{w: bufio.NewWriter(w), hdr: hdr}
+}
+
+// Err returns the first write or encode error, if any. A failed recorder
+// swallows subsequent samples rather than panicking mid-simulation.
+func (r *Recorder) Err() error { return r.err }
+
+// Samples returns how many samples have been recorded.
+func (r *Recorder) Samples() int { return r.samples }
+
+// ProbeSample implements core.Probe.
+func (r *Recorder) ProbeSample(ps *core.ProbeSample) {
+	if r.err != nil {
+		return
+	}
+	if !r.wroteHeader {
+		if r.hdr.Inventory == nil {
+			r.hdr.Inventory = make(map[string]float64, len(ps.Stats.LinkInventory))
+			for c, units := range ps.Stats.LinkInventory {
+				// wires.Class prints the paper's long names ("L-Wire");
+				// trace keys use the short class letters to match ClassOrder.
+				r.hdr.Inventory[strings.TrimSuffix(c.String(), "-Wire")] = units
+			}
+		}
+		if r.err = r.writeLine(&r.hdr); r.err != nil {
+			return
+		}
+		r.wroteHeader = true
+	}
+
+	m := energy.RunMeasurement{
+		Cycles:            ps.Cycle,
+		Net:               ps.Stats.Net,
+		Inventory:         ps.Stats.LinkInventory,
+		TransmissionLineL: r.hdr.TransmissionLineL,
+	}
+	dyn := energy.InterconnectDynamic(m)
+	lkg := energy.InterconnectLeakage(m)
+
+	s := Sample{
+		Committed: ps.Committed,
+		Cycle:     ps.Cycle,
+		Final:     ps.Final,
+		IPC:       ps.Stats.IPC(),
+		Classes: Classes{
+			B:  classSample(ps.Stats, 0),
+			PW: classSample(ps.Stats, 1),
+			L:  classSample(ps.Stats, 2),
+		},
+		LSQDepth:        ps.LSQDepth,
+		IQOccupancy:     ps.IQOccupancy,
+		RenameOccupancy: ps.RenameOccupancy,
+		Stalls: Stalls{
+			Dispatch:    ps.Stats.SumDispatchStall,
+			SrcWait:     ps.Stats.SumSrcWait,
+			FUWait:      ps.Stats.SumFUWait,
+			LoadLatency: ps.Stats.SumLoadLatency,
+			LSQWait:     ps.Stats.SumLSQWait,
+		},
+		Techniques: Techniques{
+			OperandTransfers:   ps.Stats.OperandTransfers,
+			NarrowTransfers:    ps.Stats.NarrowTransfers,
+			NarrowEligible:     ps.Stats.NarrowEligible,
+			NarrowMispredicted: ps.Stats.NarrowMispredicted,
+			PartialChecks:      ps.Stats.PartialChecks,
+			PartialFalseDeps:   ps.Stats.PartialFalseDeps,
+			StoreForwards:      ps.Stats.StoreForwards,
+		},
+		Energy: Energy{
+			Dynamic:      dyn,
+			Leakage:      lkg,
+			DynamicDelta: dyn - r.prevDyn,
+			LeakageDelta: lkg - r.prevLkg,
+		},
+	}
+	r.prevDyn, r.prevLkg = dyn, lkg
+	if r.err = r.writeLine(&s); r.err != nil {
+		return
+	}
+	r.samples++
+}
+
+func (r *Recorder) writeLine(v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := r.w.Write(raw); err != nil {
+		return err
+	}
+	return r.w.WriteByte('\n')
+}
+
+// Flush drains the buffered writer. Call once after the run completes.
+func (r *Recorder) Flush() error {
+	if r.err != nil {
+		return r.err
+	}
+	return r.w.Flush()
+}
+
+// ReadTrace parses a JSONL trace: the versioned header line followed by
+// samples. An unknown schema or a malformed line is an error (partial
+// samples read so far are discarded).
+func ReadTrace(rd io.Reader) (Header, []Sample, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return Header{}, nil, err
+		}
+		return Header{}, nil, fmt.Errorf("obs: empty trace")
+	}
+	var hdr Header
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return Header{}, nil, fmt.Errorf("obs: parsing trace header: %w", err)
+	}
+	if hdr.Schema != Schema {
+		return Header{}, nil, fmt.Errorf("obs: unsupported trace schema %q (reader speaks %q)", hdr.Schema, Schema)
+	}
+	var samples []Sample
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var s Sample
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			return Header{}, nil, fmt.Errorf("obs: parsing trace line %d: %w", line, err)
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return Header{}, nil, err
+	}
+	if len(samples) == 0 {
+		return Header{}, nil, fmt.Errorf("obs: trace has a header but no samples")
+	}
+	return hdr, samples, nil
+}

@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hetwire/internal/core"
+	"hetwire/internal/noc"
+	"hetwire/internal/wires"
+)
+
+// fakeSample builds a core.ProbeSample with deterministic, distinguishable
+// counters scaled by k, so cumulative samples look like a growing run.
+func fakeSample(k uint64, final bool) *core.ProbeSample {
+	ps := &core.ProbeSample{
+		Committed:       k * 8192,
+		Cycle:           k * 4096,
+		Final:           final,
+		LSQDepth:        int(3 * k),
+		IQOccupancy:     int(5 * k),
+		RenameOccupancy: int(7 * k),
+	}
+	ps.Stats.Instructions = ps.Committed
+	ps.Stats.Cycles = ps.Cycle
+	for i := range ps.Stats.Net {
+		ps.Stats.Net[i] = noc.ClassStats{
+			Transfers:  k * uint64(100*(i+1)),
+			Bits:       k * uint64(6400*(i+1)),
+			BitHops:    k * uint64(12800*(i+1)),
+			WaitCycles: k * uint64(10*(i+1)),
+			MaxWait:    uint64(i + 2),
+		}
+	}
+	ps.Stats.LinkInventory = map[wires.Class]float64{
+		wires.B: 80, wires.PW: 80, wires.L: 20,
+	}
+	ps.Stats.SumDispatchStall = k * 11
+	ps.Stats.SumSrcWait = k * 13
+	ps.Stats.SumFUWait = k * 17
+	ps.Stats.SumLoadLatency = k * 19
+	ps.Stats.SumLSQWait = k * 23
+	ps.Stats.NarrowEligible = k * 50
+	ps.Stats.NarrowTransfers = k * 40
+	ps.Stats.NarrowMispredicted = k * 2
+	ps.Stats.PartialChecks = k * 30
+	ps.Stats.PartialFalseDeps = k * 3
+	ps.Stats.StoreForwards = k * 9
+	ps.Stats.OperandTransfers = k * 70
+	return ps
+}
+
+func recordTrace(t *testing.T, intervals int) (Header, []Sample, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf, Header{
+		Benchmark: "gcc", Model: "V", Clusters: 4, N: 16000,
+	})
+	for k := 1; k <= intervals; k++ {
+		rec.ProbeSample(fakeSample(uint64(k), k == intervals))
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if rec.Samples() != intervals {
+		t.Fatalf("Samples() = %d, want %d", rec.Samples(), intervals)
+	}
+	hdr, samples, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	return hdr, samples, buf.Bytes()
+}
+
+func TestRecorderRoundTrip(t *testing.T) {
+	hdr, samples, _ := recordTrace(t, 4)
+	if hdr.Schema != Schema {
+		t.Errorf("header schema = %q, want %q", hdr.Schema, Schema)
+	}
+	if hdr.Interval != core.ProbeInterval {
+		t.Errorf("header interval = %d, want %d", hdr.Interval, core.ProbeInterval)
+	}
+	if hdr.Benchmark != "gcc" || hdr.Model != "V" || hdr.Clusters != 4 || hdr.N != 16000 {
+		t.Errorf("header identity mangled: %+v", hdr)
+	}
+	if got := hdr.Inventory["L"]; got != 20 {
+		t.Errorf("header inventory L = %v, want 20", got)
+	}
+	if len(samples) != 4 {
+		t.Fatalf("got %d samples, want 4", len(samples))
+	}
+	last := samples[3]
+	if !last.Final {
+		t.Error("last sample not marked final")
+	}
+	if samples[0].Final {
+		t.Error("first sample marked final")
+	}
+	if last.Committed != 4*8192 || last.Cycle != 4*4096 {
+		t.Errorf("last sample committed/cycle = %d/%d", last.Committed, last.Cycle)
+	}
+	if last.Classes.B.Transfers != 400 || last.Classes.PW.Transfers != 800 || last.Classes.L.Transfers != 1200 {
+		t.Errorf("class transfers = %+v", last.Classes)
+	}
+	if last.Stalls.LSQWait != 4*23 {
+		t.Errorf("stalls.lsq_wait = %d, want %d", last.Stalls.LSQWait, 4*23)
+	}
+	if last.Techniques.NarrowTransfers != 160 || last.Techniques.PartialChecks != 120 {
+		t.Errorf("techniques = %+v", last.Techniques)
+	}
+}
+
+func TestRecorderEnergyDeltasAreConsistent(t *testing.T) {
+	_, samples, _ := recordTrace(t, 5)
+	// Deltas must telescope back to the cumulative totals.
+	var sumDyn, sumLkg float64
+	for i, s := range samples {
+		sumDyn += s.Energy.DynamicDelta
+		sumLkg += s.Energy.LeakageDelta
+		if s.Energy.Dynamic <= 0 || s.Energy.Leakage <= 0 {
+			t.Fatalf("sample %d: non-positive cumulative energy %+v", i, s.Energy)
+		}
+	}
+	last := samples[len(samples)-1]
+	if diff := sumDyn - last.Energy.Dynamic; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("dynamic deltas sum to %v, cumulative %v", sumDyn, last.Energy.Dynamic)
+	}
+	if diff := sumLkg - last.Energy.Leakage; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("leakage deltas sum to %v, cumulative %v", sumLkg, last.Energy.Leakage)
+	}
+}
+
+func TestRecorderDeterministicBytes(t *testing.T) {
+	_, _, a := recordTrace(t, 3)
+	_, _, b := recordTrace(t, 3)
+	if !bytes.Equal(a, b) {
+		t.Error("two identical recordings produced different bytes")
+	}
+}
+
+func TestReadTraceRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"unknown schema": `{"schema":"hetwire-trace/v99"}` + "\n" + `{"committed":1}` + "\n",
+		"no samples":     `{"schema":"hetwire-trace/v1"}` + "\n",
+		"garbage line":   `{"schema":"hetwire-trace/v1"}` + "\n" + `{not json}` + "\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadTrace accepted bad input", name)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	hdr, samples, _ := recordTrace(t, 4)
+	sum, err := Summarize(hdr, samples)
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if sum.Samples != 4 || sum.Committed != 4*8192 || sum.Cycles != 4*4096 {
+		t.Errorf("summary run facts: %+v", sum)
+	}
+	if len(sum.Classes) != 4 {
+		t.Fatalf("got %d class rows, want 4", len(sum.Classes))
+	}
+	for i, class := range ClassOrder {
+		if sum.Classes[i].Class != class {
+			t.Errorf("class row %d = %q, want %q", i, sum.Classes[i].Class, class)
+		}
+	}
+	// W is the design reference: no traffic, no utilization.
+	if w := sum.Classes[0]; w.Transfers != 0 || w.Utilization != 0 {
+		t.Errorf("W row carries traffic: %+v", w)
+	}
+	// L: BitHops 4*12800*3 = 153600; inventory 20; cycles 16384.
+	l := sum.Classes[3]
+	wantUtil := 153600.0 / (20 * 16384.0)
+	if got := l.Utilization; got < wantUtil*0.999 || got > wantUtil*1.001 {
+		t.Errorf("L utilization = %v, want %v", got, wantUtil)
+	}
+	if l.AvgWait <= 0 {
+		t.Errorf("L avg wait = %v, want > 0", l.AvgWait)
+	}
+	if got, want := sum.NarrowHitRate, 0.8; got != want {
+		t.Errorf("narrow hit rate = %v, want %v", got, want)
+	}
+	if got, want := sum.PartialFalseDepRate, 0.1; got != want {
+		t.Errorf("partial false-dep rate = %v, want %v", got, want)
+	}
+	if sum.PeakLSQ != 12 || sum.PeakIQ != 20 || sum.PeakRename != 28 {
+		t.Errorf("peaks = %d/%d/%d", sum.PeakLSQ, sum.PeakIQ, sum.PeakRename)
+	}
+}
+
+func TestDiffSummaries(t *testing.T) {
+	hdr, samples, _ := recordTrace(t, 4)
+	a, _ := Summarize(hdr, samples)
+	b := a
+	b.IPC = a.IPC * 1.10
+	b.Energy.Dynamic = a.Energy.Dynamic * 0.5
+	rows := DiffSummaries(a, b)
+	byMetric := make(map[string]DiffRow, len(rows))
+	for _, r := range rows {
+		byMetric[r.Metric] = r
+	}
+	ipc, ok := byMetric["ipc"]
+	if !ok {
+		t.Fatal("diff missing ipc row")
+	}
+	if ipc.DeltaPct < 9.99 || ipc.DeltaPct > 10.01 {
+		t.Errorf("ipc delta = %v%%, want ~10%%", ipc.DeltaPct)
+	}
+	dyn := byMetric["energy.dynamic"]
+	if dyn.DeltaPct < -50.01 || dyn.DeltaPct > -49.99 {
+		t.Errorf("energy.dynamic delta = %v%%, want ~-50%%", dyn.DeltaPct)
+	}
+	if _, present := byMetric["cycles"]; present {
+		t.Error("diff contains the unchanged cycles metric; equal metrics must be elided")
+	}
+	// W carries no traffic in either run, so no W rows should appear.
+	for _, r := range rows {
+		if strings.HasPrefix(r.Metric, "W.") {
+			t.Errorf("diff contains W-plane row %q", r.Metric)
+		}
+	}
+}
+
+func TestFormatSummaryAndTimeline(t *testing.T) {
+	hdr, samples, _ := recordTrace(t, 4)
+	sum, _ := Summarize(hdr, samples)
+	out := FormatSummary(sum)
+	for _, want := range []string{"benchmark=gcc", "ipc=", "W ", "PW", "B ", "L ", "narrow=160/200", "dynamic="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary output missing %q:\n%s", want, out)
+		}
+	}
+	tl := Timeline(hdr, samples, 16)
+	for _, want := range []string{"PW  |", "B   |", "L   |"} {
+		if !strings.Contains(tl, want) {
+			t.Errorf("timeline missing row %q:\n%s", want, tl)
+		}
+	}
+	// The L plane is the busiest; its row must contain a non-blank glyph.
+	for _, line := range strings.Split(tl, "\n") {
+		if strings.HasPrefix(line, "L ") && !strings.ContainsAny(line, ".:-=+*#%@") {
+			t.Errorf("L timeline row is blank: %q", line)
+		}
+	}
+}
+
+func TestRecorderSurfacesWriteErrors(t *testing.T) {
+	rec := NewRecorder(failingWriter{}, Header{Benchmark: "gcc"})
+	// Enough samples to overflow the internal buffer so the failure hits the
+	// underlying writer before Flush.
+	for k := 1; k <= 16; k++ {
+		rec.ProbeSample(fakeSample(uint64(k), false))
+	}
+	if rec.Err() == nil {
+		t.Error("recorder did not record the write error")
+	}
+	if err := rec.Flush(); err == nil {
+		t.Error("Flush did not surface the write error")
+	}
+	// A failed recorder must swallow further samples without panicking.
+	before := rec.Samples()
+	rec.ProbeSample(fakeSample(99, true))
+	if rec.Samples() != before {
+		t.Error("failed recorder kept counting samples")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) {
+	return 0, errWrite
+}
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "synthetic write failure" }

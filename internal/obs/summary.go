@@ -1,0 +1,327 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ClassOrder is the paper's canonical wire-class presentation order. W leads
+// even though it carries no traffic (it is the design reference the other
+// classes are derived from), matching Table 2 and the figures.
+var ClassOrder = []string{"W", "PW", "B", "L"}
+
+// ClassRow is the per-wire-class reduction of a trace: cumulative traffic at
+// end of run plus the derived rates the figures care about.
+type ClassRow struct {
+	Class      string `json:"class"`
+	Transfers  uint64 `json:"transfers"`
+	Bits       uint64 `json:"bits"`
+	BitHops    uint64 `json:"bit_hops"`
+	WaitCycles uint64 `json:"wait_cycles"`
+	MaxWait    uint64 `json:"max_wait"`
+	// AvgWait is WaitCycles/Transfers — mean link-contention delay per
+	// transfer on this plane.
+	AvgWait float64 `json:"avg_wait"`
+	// Inventory is the plane's physical wire-length units (from the header).
+	Inventory float64 `json:"inventory"`
+	// Utilization is BitHops/(Inventory·Cycles): the fraction of the plane's
+	// aggregate wire-cycle capacity that carried bits. Zero for W (not an
+	// instantiated link plane) and for planes with no inventory.
+	Utilization float64 `json:"utilization"`
+}
+
+// Summary is the whole-trace reduction hetwiretrace prints and diffs.
+type Summary struct {
+	Header     Header     `json:"header"`
+	Samples    int        `json:"samples"`
+	Committed  uint64     `json:"committed"`
+	Cycles     uint64     `json:"cycles"`
+	IPC        float64    `json:"ipc"`
+	Classes    []ClassRow `json:"classes"` // W, PW, B, L order
+	Stalls     Stalls     `json:"stalls"`
+	Techniques Techniques `json:"techniques"`
+	// NarrowHitRate is NarrowTransfers/NarrowEligible — how often an
+	// eligible operand actually took the narrow L-wire path.
+	NarrowHitRate float64 `json:"narrow_hit_rate"`
+	// PartialFalseDepRate is PartialFalseDeps/PartialChecks — how often the
+	// partial-address early disambiguation raised a false dependence.
+	PartialFalseDepRate float64 `json:"partial_false_dep_rate"`
+	Energy              Energy  `json:"energy"`
+	// Peak occupancies observed across interval samples (upper bounds; see
+	// core.ProbeSample).
+	PeakLSQ    int `json:"peak_lsq"`
+	PeakIQ     int `json:"peak_iq"`
+	PeakRename int `json:"peak_rename"`
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// classAt extracts the cumulative per-class readout from a sample by class
+// name; W has no traffic plane and returns a zero row.
+func classAt(s Sample, class string) ClassSample {
+	switch class {
+	case "B":
+		return s.Classes.B
+	case "PW":
+		return s.Classes.PW
+	case "L":
+		return s.Classes.L
+	}
+	return ClassSample{}
+}
+
+// Summarize reduces a parsed trace to its Summary. The last sample carries
+// the end-of-run cumulative counters; peaks scan all samples.
+func Summarize(hdr Header, samples []Sample) (Summary, error) {
+	if len(samples) == 0 {
+		return Summary{}, fmt.Errorf("obs: cannot summarize a trace with no samples")
+	}
+	last := samples[len(samples)-1]
+	sum := Summary{
+		Header:              hdr,
+		Samples:             len(samples),
+		Committed:           last.Committed,
+		Cycles:              last.Cycle,
+		IPC:                 last.IPC,
+		Stalls:              last.Stalls,
+		Techniques:          last.Techniques,
+		NarrowHitRate:       ratio(last.Techniques.NarrowTransfers, last.Techniques.NarrowEligible),
+		PartialFalseDepRate: ratio(last.Techniques.PartialFalseDeps, last.Techniques.PartialChecks),
+		Energy:              last.Energy,
+	}
+	for _, s := range samples {
+		if s.LSQDepth > sum.PeakLSQ {
+			sum.PeakLSQ = s.LSQDepth
+		}
+		if s.IQOccupancy > sum.PeakIQ {
+			sum.PeakIQ = s.IQOccupancy
+		}
+		if s.RenameOccupancy > sum.PeakRename {
+			sum.PeakRename = s.RenameOccupancy
+		}
+	}
+	for _, class := range ClassOrder {
+		cs := classAt(last, class)
+		row := ClassRow{
+			Class:      class,
+			Transfers:  cs.Transfers,
+			Bits:       cs.Bits,
+			BitHops:    cs.BitHops,
+			WaitCycles: cs.WaitCycles,
+			MaxWait:    cs.MaxWait,
+			AvgWait:    ratio(cs.WaitCycles, cs.Transfers),
+			Inventory:  hdr.Inventory[class],
+		}
+		if row.Inventory > 0 && last.Cycle > 0 {
+			row.Utilization = float64(cs.BitHops) / (row.Inventory * float64(last.Cycle))
+		}
+		sum.Classes = append(sum.Classes, row)
+	}
+	return sum, nil
+}
+
+// DiffRow is one metric compared across two summaries. DeltaPct is
+// (B-A)/A·100, NaN-free: a zero baseline with a nonzero B reports +Inf
+// folded to 100, and two zeros report 0.
+type DiffRow struct {
+	Metric   string  `json:"metric"`
+	A        float64 `json:"a"`
+	B        float64 `json:"b"`
+	DeltaPct float64 `json:"delta_pct"`
+}
+
+func deltaPct(a, b float64) float64 {
+	switch {
+	case a == b:
+		return 0
+	case a == 0:
+		return 100
+	default:
+		return (b - a) / math.Abs(a) * 100
+	}
+}
+
+// DiffSummaries compares two summaries metric by metric, in a stable order:
+// run-level metrics first, then per-class traffic in ClassOrder, then energy
+// and technique rates. Metrics equal in both runs are elided — the diff of
+// two identical traces is empty, and the diff of two sparse configurations
+// stays readable.
+func DiffSummaries(a, b Summary) []DiffRow {
+	var rows []DiffRow
+	add := func(metric string, va, vb float64) {
+		if va == vb {
+			return
+		}
+		rows = append(rows, DiffRow{Metric: metric, A: va, B: vb, DeltaPct: deltaPct(va, vb)})
+	}
+	add("ipc", a.IPC, b.IPC)
+	add("cycles", float64(a.Cycles), float64(b.Cycles))
+	add("committed", float64(a.Committed), float64(b.Committed))
+
+	classA := make(map[string]ClassRow, len(a.Classes))
+	for _, r := range a.Classes {
+		classA[r.Class] = r
+	}
+	classB := make(map[string]ClassRow, len(b.Classes))
+	for _, r := range b.Classes {
+		classB[r.Class] = r
+	}
+	for _, class := range ClassOrder {
+		ra, rb := classA[class], classB[class]
+		add(class+".transfers", float64(ra.Transfers), float64(rb.Transfers))
+		add(class+".bit_hops", float64(ra.BitHops), float64(rb.BitHops))
+		add(class+".avg_wait", ra.AvgWait, rb.AvgWait)
+		add(class+".utilization", ra.Utilization, rb.Utilization)
+	}
+
+	add("energy.dynamic", a.Energy.Dynamic, b.Energy.Dynamic)
+	add("energy.leakage", a.Energy.Leakage, b.Energy.Leakage)
+	add("stalls.dispatch", float64(a.Stalls.Dispatch), float64(b.Stalls.Dispatch))
+	add("stalls.src_wait", float64(a.Stalls.SrcWait), float64(b.Stalls.SrcWait))
+	add("stalls.fu_wait", float64(a.Stalls.FUWait), float64(b.Stalls.FUWait))
+	add("stalls.load_latency", float64(a.Stalls.LoadLatency), float64(b.Stalls.LoadLatency))
+	add("stalls.lsq_wait", float64(a.Stalls.LSQWait), float64(b.Stalls.LSQWait))
+	add("narrow_hit_rate", a.NarrowHitRate, b.NarrowHitRate)
+	add("partial_false_dep_rate", a.PartialFalseDepRate, b.PartialFalseDepRate)
+	return rows
+}
+
+// FormatSummary renders a Summary as the aligned text block hetwiretrace
+// prints. Deterministic: no timestamps, map-free iteration.
+func FormatSummary(s Summary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace    %s  benchmark=%s model=%s clusters=%d n=%d\n",
+		s.Header.Schema, s.Header.Benchmark, s.Header.Model, s.Header.Clusters, s.Header.N)
+	fmt.Fprintf(&b, "run      committed=%d cycles=%d ipc=%.4f samples=%d (interval=%d)\n",
+		s.Committed, s.Cycles, s.IPC, s.Samples, s.Header.Interval)
+	fmt.Fprintf(&b, "peaks    lsq=%d iq=%d rename=%d\n", s.PeakLSQ, s.PeakIQ, s.PeakRename)
+	b.WriteString("class    transfers     bit-hops  avg-wait  max-wait  inventory  utilization\n")
+	for _, r := range s.Classes {
+		if r.Class == "W" {
+			// Design reference, not an instantiated plane: no traffic row.
+			fmt.Fprintf(&b, "%-5s %12s %12s %9s %9s %10s %12s\n",
+				r.Class, "-", "-", "-", "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(&b, "%-5s %12d %12d %9.3f %9d %10.1f %12.6f\n",
+			r.Class, r.Transfers, r.BitHops, r.AvgWait, r.MaxWait, r.Inventory, r.Utilization)
+	}
+	fmt.Fprintf(&b, "stalls   dispatch=%d src_wait=%d fu_wait=%d load_latency=%d lsq_wait=%d\n",
+		s.Stalls.Dispatch, s.Stalls.SrcWait, s.Stalls.FUWait, s.Stalls.LoadLatency, s.Stalls.LSQWait)
+	fmt.Fprintf(&b, "l-wire   narrow=%d/%d (hit %.1f%%, mispredict %d)  partial=%d checks, %d false deps (%.2f%%), %d store forwards\n",
+		s.Techniques.NarrowTransfers, s.Techniques.NarrowEligible, s.NarrowHitRate*100,
+		s.Techniques.NarrowMispredicted, s.Techniques.PartialChecks, s.Techniques.PartialFalseDeps,
+		s.PartialFalseDepRate*100, s.Techniques.StoreForwards)
+	fmt.Fprintf(&b, "energy   dynamic=%.1f leakage=%.1f (normalized units)\n",
+		s.Energy.Dynamic, s.Energy.Leakage)
+	return b.String()
+}
+
+// FormatDiff renders DiffSummaries rows as an aligned table.
+func FormatDiff(rows []DiffRow) string {
+	if len(rows) == 0 {
+		return "no differing metrics\n"
+	}
+	width := len("metric")
+	for _, r := range rows {
+		if len(r.Metric) > width {
+			width = len(r.Metric)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s %14s %14s %9s\n", width, "metric", "a", "b", "delta")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-*s %14.4f %14.4f %+8.2f%%\n", width, r.Metric, r.A, r.B, r.DeltaPct)
+	}
+	return b.String()
+}
+
+// Timeline renders per-class utilization over the run as text: one row per
+// traffic plane, one cell per bucket of samples, glyphs scaling with the
+// bucket's mean interval utilization. Interval utilization differences
+// consecutive cumulative samples, so the timeline shows bursts the end-of-run
+// average hides.
+func Timeline(hdr Header, samples []Sample, width int) string {
+	if width <= 0 {
+		width = 64
+	}
+	if len(samples) == 0 {
+		return "empty trace\n"
+	}
+	// Per-interval utilization per plane.
+	type point struct{ util float64 }
+	planes := []string{"PW", "B", "L"}
+	series := make(map[string][]float64, len(planes))
+	prev := Sample{}
+	for i, s := range samples {
+		dc := s.Cycle - prev.Cycle
+		for _, class := range planes {
+			inv := hdr.Inventory[class]
+			var u float64
+			if inv > 0 && dc > 0 {
+				dh := classAt(s, class).BitHops - classAt(prev, class).BitHops
+				u = float64(dh) / (inv * float64(dc))
+			}
+			series[class] = append(series[class], u)
+		}
+		prev = s
+		_ = i
+	}
+	n := len(samples)
+	if width > n {
+		width = n
+	}
+	glyphs := []rune(" .:-=+*#%@")
+	// Scale glyphs to the max utilization across all planes so rows are
+	// comparable to each other.
+	var max float64
+	for _, class := range planes {
+		for _, u := range series[class] {
+			if u > max {
+				max = u
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "utilization timeline  %d samples -> %d buckets  (scale: max=%.6f, glyphs \"%s\")\n",
+		n, width, max, string(glyphs))
+	for _, class := range planes {
+		cells := make([]rune, width)
+		for c := 0; c < width; c++ {
+			lo, hi := c*n/width, (c+1)*n/width
+			if hi <= lo {
+				hi = lo + 1
+			}
+			var mean float64
+			for _, u := range series[class][lo:hi] {
+				mean += u
+			}
+			mean /= float64(hi - lo)
+			g := 0
+			if max > 0 {
+				g = int(mean / max * float64(len(glyphs)-1))
+				if g >= len(glyphs) {
+					g = len(glyphs) - 1
+				}
+			}
+			cells[c] = glyphs[g]
+		}
+		fmt.Fprintf(&b, "%-3s |%s|\n", class, string(cells))
+	}
+	return b.String()
+}
+
+// SortRowsByMagnitude orders diff rows by absolute delta, largest first —
+// used by hetwiretrace to surface the biggest movers.
+func SortRowsByMagnitude(rows []DiffRow) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		return math.Abs(rows[i].DeltaPct) > math.Abs(rows[j].DeltaPct)
+	})
+}

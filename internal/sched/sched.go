@@ -240,6 +240,13 @@ func (h *Heap) Free(now uint64) int {
 // Size returns the pool size.
 func (h *Heap) Size() int { return h.size }
 
+// Occupied returns the number of resident entries, counting entries whose
+// release time has passed but that lazy expiry has not yet dropped. Unlike
+// Free it touches no state, so telemetry may call it at any cycle without
+// violating the monotone-query contract; the value is an upper bound on the
+// true occupancy at the last queried cycle.
+func (h *Heap) Occupied() int { return len(h.release) }
+
 func (h *Heap) push(v uint64) {
 	h.release = append(h.release, v)
 	i := len(h.release) - 1

@@ -36,12 +36,16 @@ type Job struct {
 	Kind  string // "run" or "sweep"
 	Req   hetwire.RunRequest
 	Sweep *SweepRequest
+	// TraceID is the request-trace identifier the job was submitted under
+	// (client-minted or daemon-minted); immutable after submission.
+	TraceID string
 
 	ctx      context.Context
 	cancel   context.CancelFunc
 	done     chan struct{} // closed on reaching a terminal state
 	idemKey  string        // Idempotency-Key the job was submitted under, if any
 	deadline time.Duration // wall-clock budget from submission
+	spans    *spanRecorder // per-phase timings, base = submission time
 
 	mu         sync.Mutex
 	state      JobState
@@ -57,8 +61,11 @@ type Job struct {
 
 // newJob builds a queued job whose context descends from parent; a non-zero
 // deadline bounds the job's total wall clock (queue wait included) via
-// context.WithTimeout.
-func newJob(parent context.Context, id, kind string, deadline time.Duration, now time.Time) *Job {
+// context.WithTimeout. The trace ID is carried both on the record (status,
+// logs) and in the job context (hetwire.TraceIDFrom), so code running under
+// the worker can label its output without reaching back to the server.
+func newJob(parent context.Context, id, kind, traceID string, deadline time.Duration, now time.Time) *Job {
+	parent = hetwire.WithTraceID(parent, traceID)
 	var ctx context.Context
 	var cancel context.CancelFunc
 	if deadline > 0 {
@@ -69,17 +76,20 @@ func newJob(parent context.Context, id, kind string, deadline time.Duration, now
 	return &Job{
 		ID:        id,
 		Kind:      kind,
+		TraceID:   traceID,
 		ctx:       ctx,
 		cancel:    cancel,
 		done:      make(chan struct{}),
 		deadline:  deadline,
+		spans:     newSpanRecorder(now),
 		state:     StateQueued,
 		submitted: now,
 	}
 }
 
 // claim transitions queued -> running; it returns false when the job was
-// cancelled while waiting in the queue.
+// cancelled while waiting in the queue. The queue_wait span is closed here:
+// submission to claim is exactly the time spent waiting for a worker.
 func (j *Job) claim(now time.Time) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -88,6 +98,7 @@ func (j *Job) claim(now time.Time) bool {
 	}
 	j.state = StateRunning
 	j.started = now
+	j.spans.observe(spanQueueWait, j.submitted, now.Sub(j.submitted))
 	return true
 }
 
@@ -168,12 +179,19 @@ type JobStatus struct {
 	Error    string   `json:"error,omitempty"`
 	// FailureLog carries the worker's stack trace when the job failed to a
 	// contained panic.
-	FailureLog string          `json:"failure_log,omitempty"`
-	DeadlineMS float64         `json:"deadline_ms,omitempty"`
-	Submitted  time.Time       `json:"submitted"`
-	WallMS     float64         `json:"wall_ms,omitempty"`
-	QueueMS    float64         `json:"queue_ms,omitempty"`
-	Result     json.RawMessage `json:"result,omitempty"`
+	FailureLog string    `json:"failure_log,omitempty"`
+	DeadlineMS float64   `json:"deadline_ms,omitempty"`
+	Submitted  time.Time `json:"submitted"`
+	WallMS     float64   `json:"wall_ms,omitempty"`
+	QueueMS    float64   `json:"queue_ms,omitempty"`
+	// TraceID is the request-trace identifier the job runs under; pass it as
+	// X-Hetwire-Trace on related requests to correlate daemon logs.
+	TraceID string `json:"trace_id,omitempty"`
+	// Spans is the per-phase timing breakdown (queue_wait, cache_lookup,
+	// sim_run, result_encode), milliseconds relative to submission. Sweep
+	// jobs merge per-point phases into one span per name.
+	Spans  []Span          `json:"spans,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
 }
 
 // Status snapshots the job. Result bodies are included only when done and
@@ -190,6 +208,8 @@ func (j *Job) Status(withResult bool) JobStatus {
 		Error:      j.errMsg,
 		FailureLog: j.failureLog,
 		Submitted:  j.submitted,
+		TraceID:    j.TraceID,
+		Spans:      j.spans.snapshot(),
 	}
 	if j.deadline > 0 {
 		st.DeadlineMS = float64(j.deadline) / float64(time.Millisecond)

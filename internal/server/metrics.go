@@ -19,6 +19,22 @@ const (
 	latBucketWidth = 1000 // microseconds
 )
 
+// Cardinality bounds: label sets fed by external input are capped, with
+// overflow folded into a catch-all, so a hostile or buggy client cannot grow
+// the /metrics payload without bound.
+const (
+	// maxEndpoints caps distinct route labels. Routes are normalized patterns
+	// (job IDs collapsed, queries stripped), so the cap is never reached by
+	// the served API; it is a backstop for future route additions.
+	maxEndpoints = 32
+	// maxRejectReasons caps distinct rejection-reason labels; reasons come
+	// from the bounded hetwire.Reason* code set plus the daemon's own
+	// backpressure classes.
+	maxRejectReasons = 16
+	// overflowLabel absorbs observations past a cardinality cap.
+	overflowLabel = "other"
+)
+
 // Metrics aggregates the daemon's observability counters. All mutation is
 // either atomic or under mu; rendering takes a consistent-enough snapshot
 // for Prometheus scraping (gauges may lag each other by a scrape).
@@ -35,8 +51,6 @@ type Metrics struct {
 	// started afterwards.
 	jobsPanicked     atomic.Uint64
 	workersRespawned atomic.Uint64
-	// jobsRejected counts submissions bounced for backpressure (queue full).
-	jobsRejected atomic.Uint64
 
 	// jobWallNanos/jobWallCount accumulate terminal jobs' wall time; their
 	// ratio is the observed mean job latency that sizes Retry-After hints.
@@ -45,6 +59,10 @@ type Metrics struct {
 
 	workers     int
 	workersBusy atomic.Int64
+	// workerBusyNanos accumulates per-worker busy time (index = worker slot;
+	// a respawned worker keeps its predecessor's slot), exposing skew between
+	// workers that the pool-level gauge averages away.
+	workerBusyNanos []atomic.Int64
 
 	// instructions is the total simulated instruction count (cache hits do
 	// not re-simulate and therefore do not count).
@@ -52,8 +70,20 @@ type Metrics struct {
 	// simBusy accumulates nanoseconds spent inside simulation calls.
 	simBusy atomic.Int64
 
+	// buildVersion/buildGo label hetwired_build_info; set once before serving
+	// (SetBuildInfo), empty means the line is omitted.
+	buildVersion string
+	buildGo      string
+
 	mu        sync.Mutex
 	endpoints map[string]*endpointMetrics
+	// rejected counts submissions bounced before queueing, by machine-
+	// readable reason (hetwire.Reason* validation codes, queue_full,
+	// draining, bad_json).
+	rejected map[string]uint64
+	// phases holds one latency histogram per job phase (queue_wait, sim_run,
+	// ...); keys come from the daemon's fixed span-name set.
+	phases map[string]*stats.Histogram
 }
 
 type endpointMetrics struct {
@@ -64,7 +94,56 @@ type endpointMetrics struct {
 
 // NewMetrics creates the registry for a pool of the given size.
 func NewMetrics(workers int, now time.Time) *Metrics {
-	return &Metrics{start: now, workers: workers, endpoints: make(map[string]*endpointMetrics)}
+	return &Metrics{
+		start:           now,
+		workers:         workers,
+		workerBusyNanos: make([]atomic.Int64, workers),
+		endpoints:       make(map[string]*endpointMetrics),
+		rejected:        make(map[string]uint64),
+		phases:          make(map[string]*stats.Histogram),
+	}
+}
+
+// SetBuildInfo records the version labels for hetwired_build_info. Call once
+// before serving; the zero state omits the metric, keeping directly
+// constructed registries (tests) deterministic.
+func (m *Metrics) SetBuildInfo(version, goVersion string) {
+	m.buildVersion, m.buildGo = version, goVersion
+}
+
+// ObserveRejection counts one bounced submission by machine-readable reason.
+// The reason label set is capped; unexpected reasons past the cap fold into
+// the overflow label instead of growing the exposition.
+func (m *Metrics) ObserveRejection(reason string) {
+	if reason == "" {
+		reason = overflowLabel
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.rejected[reason]; !ok && len(m.rejected) >= maxRejectReasons {
+		reason = overflowLabel
+	}
+	m.rejected[reason]++
+}
+
+// ObservePhase folds one job-phase duration into the phase histogram (same
+// microsecond geometry as the HTTP latency histograms).
+func (m *Metrics) ObservePhase(phase string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.phases[phase]
+	if !ok {
+		h = stats.NewHistogram(latBuckets, latBucketWidth)
+		m.phases[phase] = h
+	}
+	h.Observe(uint64(d / time.Microsecond))
+}
+
+// AddWorkerBusy accrues busy time for one worker slot.
+func (m *Metrics) AddWorkerBusy(worker int, d time.Duration) {
+	if worker >= 0 && worker < len(m.workerBusyNanos) {
+		m.workerBusyNanos[worker].Add(int64(d))
+	}
 }
 
 // ObserveJobWall folds one terminal job's wall time into the latency
@@ -90,11 +169,17 @@ func (m *Metrics) JobsPanicked() uint64 { return m.jobsPanicked.Load() }
 // WorkersRespawned exposes the respawn counter (tests).
 func (m *Metrics) WorkersRespawned() uint64 { return m.workersRespawned.Load() }
 
-// ObserveRequest records one served HTTP request for the route pattern.
+// ObserveRequest records one served HTTP request for the route pattern. The
+// route label set is capped at maxEndpoints; routes past the cap fold into
+// the overflow label so unmatched-path traffic cannot grow the exposition.
 func (m *Metrics) ObserveRequest(route string, status int, elapsed time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	ep, ok := m.endpoints[route]
+	if !ok && len(m.endpoints) >= maxEndpoints {
+		route = overflowLabel
+		ep, ok = m.endpoints[route]
+	}
 	if !ok {
 		ep = &endpointMetrics{
 			statuses: make(map[int]uint64),
@@ -130,7 +215,7 @@ func (m *Metrics) render(w io.Writer, queueDepth int, draining bool, cs CacheSta
 	fmt.Fprintf(w, "hetwired_jobs_total{state=\"cancelled\"} %d\n", m.jobsCancelled.Load())
 	counter("hetwired_jobs_submitted_total", "Jobs accepted into the queue.", m.jobsSubmitted.Load())
 	counter("hetwired_jobs_panicked_total", "Jobs failed by a contained worker panic.", m.jobsPanicked.Load())
-	counter("hetwired_jobs_rejected_total", "Submissions rejected for backpressure (429).", m.jobsRejected.Load())
+	m.renderRejections(w)
 	counter("hetwired_workers_respawned_total", "Workers respawned after a panic escaped a job.", m.workersRespawned.Load())
 
 	fmt.Fprintf(w, "# HELP hetwired_jobs Jobs currently in a live state.\n# TYPE hetwired_jobs gauge\n")
@@ -143,6 +228,13 @@ func (m *Metrics) render(w io.Writer, queueDepth int, draining bool, cs CacheSta
 	if m.workers > 0 {
 		gauge("hetwired_worker_utilization", "Fraction of workers busy.",
 			float64(m.workersBusy.Load())/float64(m.workers))
+	}
+	if len(m.workerBusyNanos) > 0 {
+		fmt.Fprintf(w, "# HELP hetwired_worker_busy_seconds_total Cumulative busy time per worker slot.\n# TYPE hetwired_worker_busy_seconds_total counter\n")
+		for i := range m.workerBusyNanos {
+			fmt.Fprintf(w, "hetwired_worker_busy_seconds_total{worker=\"%d\"} %g\n",
+				i, float64(m.workerBusyNanos[i].Load())/float64(time.Second))
+		}
 	}
 
 	counter("hetwired_cache_hits_total", "Result-cache hits served from stored entries.", cs.Hits)
@@ -163,7 +255,61 @@ func (m *Metrics) render(w io.Writer, queueDepth int, draining bool, cs CacheSta
 			float64(instr)/(float64(busy)/float64(time.Second)))
 	}
 
+	if m.buildVersion != "" || m.buildGo != "" {
+		fmt.Fprintf(w, "# HELP hetwired_build_info Build metadata as labels; the value is always 1.\n# TYPE hetwired_build_info gauge\n")
+		fmt.Fprintf(w, "hetwired_build_info{version=%q,go=%q} 1\n", m.buildVersion, m.buildGo)
+	}
+
+	m.renderPhases(w)
 	m.renderEndpoints(w)
+}
+
+// renderRejections emits the per-reason rejection counters. The total line is
+// always present (even at zero) so dashboards keyed on the metric name keep
+// working; per-reason labels appear once a reason has been observed.
+func (m *Metrics) renderRejections(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fmt.Fprintf(w, "# HELP hetwired_jobs_rejected_total Submissions rejected before queueing, by machine-readable reason.\n# TYPE hetwired_jobs_rejected_total counter\n")
+	reasons := make([]string, 0, len(m.rejected))
+	for r := range m.rejected {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fmt.Fprintf(w, "hetwired_jobs_rejected_total{reason=%q} %d\n", r, m.rejected[r])
+	}
+}
+
+// renderPhases emits the per-phase job latency histograms (queue_wait,
+// cache_lookup, sim_run, result_encode).
+func (m *Metrics) renderPhases(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.phases) == 0 {
+		return
+	}
+	names := make([]string, 0, len(m.phases))
+	for n := range m.phases {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "# HELP hetwired_job_phase_duration_seconds Time spent per job phase.\n# TYPE hetwired_job_phase_duration_seconds histogram\n")
+	cumBuf := make([]stats.CumBucket, 0, latBuckets+1)
+	for _, n := range names {
+		h := m.phases[n]
+		cumBuf = h.AppendCumulative(cumBuf[:0])
+		for _, b := range cumBuf {
+			if b.Inf {
+				fmt.Fprintf(w, "hetwired_job_phase_duration_seconds_bucket{phase=%q,le=\"+Inf\"} %d\n", n, b.Count)
+				continue
+			}
+			le := float64(b.UpperBound+1) / 1e6
+			fmt.Fprintf(w, "hetwired_job_phase_duration_seconds_bucket{phase=%q,le=\"%g\"} %d\n", n, le, b.Count)
+		}
+		fmt.Fprintf(w, "hetwired_job_phase_duration_seconds_sum{phase=%q} %g\n", n, float64(h.Sum)/1e6)
+		fmt.Fprintf(w, "hetwired_job_phase_duration_seconds_count{phase=%q} %d\n", n, h.Count)
+	}
 }
 
 // renderEndpoints emits per-route request counters and latency histograms

@@ -141,9 +141,21 @@ func New(opts Options) *Server {
 	s.route("GET", "/v1/catalog", s.handleCatalog)
 	s.route("GET", "/healthz", s.handleHealthz)
 	s.route("GET", "/metrics", s.handleMetrics)
+	// Catch-all for paths outside the served API: the request is still
+	// counted (under the bounded NormalizeRoute label) and traced, so probes
+	// for wrong URLs show up in /metrics instead of vanishing.
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		tid := ensureTraceID(w, r)
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown endpoint %s %s", r.Method, r.URL.Path))
+		elapsed := time.Since(start)
+		s.metrics.ObserveRequest(NormalizeRoute(r.Method, r.URL.Path), http.StatusNotFound, elapsed)
+		s.opts.Logger.Printf("http method=%s path=%s status=404 trace=%s dur=%s",
+			r.Method, r.URL.Path, tid, elapsed.Round(time.Microsecond))
+	})
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
-		go s.worker()
+		go s.worker(i)
 	}
 	return s
 }
@@ -159,16 +171,21 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // route registers a handler with request logging and latency metrics keyed
 // by the route pattern (not the raw URL, which would explode cardinality).
+// Every request gets a trace ID here — taken from X-Hetwire-Trace when the
+// client sent a valid one, minted otherwise — echoed on the response, stamped
+// into the request log, and carried to the handler via the request context.
 func (s *Server) route(method, pattern string, h http.HandlerFunc) {
 	label := method + " " + pattern
 	s.mux.HandleFunc(method+" "+pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		tid := ensureTraceID(w, r)
+		r = r.WithContext(hetwire.WithTraceID(r.Context(), tid))
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(rec, r)
 		elapsed := time.Since(start)
 		s.metrics.ObserveRequest(label, rec.status, elapsed)
-		s.opts.Logger.Printf("http method=%s path=%s status=%d bytes=%d dur=%s",
-			r.Method, r.URL.Path, rec.status, rec.bytes, elapsed.Round(time.Microsecond))
+		s.opts.Logger.Printf("http method=%s path=%s status=%d bytes=%d trace=%s dur=%s",
+			r.Method, r.URL.Path, rec.status, rec.bytes, tid, elapsed.Round(time.Microsecond))
 	})
 }
 
@@ -218,9 +235,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // worker drains the queue until it is closed and empty. A panic that escapes
 // a job is contained here: the job it was executing finishes as failed with
 // the stack trace in failure_log, and a replacement worker is spawned so the
-// pool never shrinks — the daemon keeps serving.
-func (s *Server) worker() {
+// pool never shrinks — the daemon keeps serving. The slot index labels the
+// per-worker busy-time counter; a respawned worker inherits its
+// predecessor's slot so the label set stays fixed at pool size.
+func (s *Server) worker(slot int) {
 	var current *Job
+	var busyStart time.Time
 	defer func() {
 		if r := recover(); r != nil {
 			stack := debug.Stack()
@@ -229,21 +249,24 @@ func (s *Server) worker() {
 				current.finishPanic(r, stack, now)
 				s.metrics.jobsFailed.Add(1)
 				s.metrics.ObserveJobWall(now.Sub(current.Status(false).Submitted))
-				s.opts.Logger.Printf("job id=%s kind=%s state=failed panic=%q (worker respawning)",
-					current.ID, current.Kind, fmt.Sprint(r))
+				s.metrics.AddWorkerBusy(slot, now.Sub(busyStart))
+				s.opts.Logger.Printf("job id=%s kind=%s state=failed trace=%s panic=%q (worker respawning)",
+					current.ID, current.Kind, current.TraceID, fmt.Sprint(r))
 			} else {
 				s.opts.Logger.Printf("worker panic outside a job: %v (respawning)", r)
 			}
 			s.metrics.jobsPanicked.Add(1)
 			s.metrics.workersRespawned.Add(1)
 			s.wg.Add(1)
-			go s.worker()
+			go s.worker(slot)
 		}
 		s.wg.Done()
 	}()
 	for job := range s.queue.ch {
 		current = job
+		busyStart = time.Now()
 		s.runJob(job)
+		s.metrics.AddWorkerBusy(slot, time.Since(busyStart))
 		current = nil
 	}
 }
@@ -280,9 +303,9 @@ func (s *Server) runJob(job *Job) {
 	var err error
 	switch job.Kind {
 	case "sweep":
-		body, hit, err = s.runSweep(job.ctx, job.Sweep)
+		body, hit, err = s.runSweep(job.ctx, job.Sweep, job.spans)
 	default:
-		body, hit, err = s.runCached(job.ctx, &job.Req)
+		body, hit, err = s.runCached(job.ctx, &job.Req, job.spans)
 	}
 	now := time.Now()
 	job.finish(body, hit, ipcOf(body), err, now)
@@ -296,10 +319,13 @@ func (s *Server) runJob(job *Job) {
 	case StateCancelled:
 		s.metrics.jobsCancelled.Add(1)
 	}
+	for _, sp := range job.spans.snapshot() {
+		s.metrics.ObservePhase(sp.Name, time.Duration(sp.DurMS*float64(time.Millisecond)))
+	}
 	st := job.Status(false)
 	s.metrics.ObserveJobWall(now.Sub(st.Submitted))
-	s.opts.Logger.Printf("job id=%s kind=%s state=%s cache_hit=%t wall_ms=%.1f ipc=%.3f err=%q",
-		job.ID, job.Kind, state, st.CacheHit, float64(now.Sub(start))/float64(time.Millisecond), st.IPC, st.Error)
+	s.opts.Logger.Printf("job id=%s kind=%s state=%s trace=%s cache_hit=%t wall_ms=%.1f ipc=%.3f err=%q",
+		job.ID, job.Kind, state, job.TraceID, st.CacheHit, float64(now.Sub(start))/float64(time.Millisecond), st.IPC, st.Error)
 }
 
 // sleepCtx sleeps for d or until ctx is cancelled, whichever comes first —
@@ -319,7 +345,10 @@ func sleepCtx(ctx context.Context, d time.Duration) {
 // runCached serves one run request through the result cache. The simulation
 // itself runs under ctx: cancelling the job stops the simulator within one
 // ctx-check interval (hetwire.CtxCheckInterval committed instructions).
-func (s *Server) runCached(ctx context.Context, req *hetwire.RunRequest) ([]byte, bool, error) {
+// Phase spans land on the recorder: sim_run and result_encode inside the
+// fill (only when this call actually simulates), cache_lookup as the Do time
+// net of the fill — for hits and coalesced waits that is the whole wait.
+func (s *Server) runCached(ctx context.Context, req *hetwire.RunRequest, spans *spanRecorder) ([]byte, bool, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
@@ -327,16 +356,29 @@ func (s *Server) runCached(ctx context.Context, req *hetwire.RunRequest) ([]byte
 	if err != nil {
 		return nil, false, err
 	}
+	lookupStart := time.Now()
+	var fillDur time.Duration
 	body, hit, err := s.cache.Do(ctx, key, func() ([]byte, error) {
-		simStart := time.Now()
+		fillStart := time.Now()
+		defer func() { fillDur = time.Since(fillStart) }()
 		resp, err := req.ExecuteContext(ctx)
 		if err != nil {
 			return nil, err
 		}
-		s.metrics.simBusy.Add(int64(time.Since(simStart)))
+		simDur := time.Since(fillStart)
+		s.metrics.simBusy.Add(int64(simDur))
 		s.metrics.instructions.Add(resp.Instructions)
-		return json.Marshal(resp)
+		spans.observe(spanSimRun, fillStart, simDur)
+		encStart := time.Now()
+		b, err := json.Marshal(resp)
+		spans.observe(spanResultEncode, encStart, time.Since(encStart))
+		return b, err
 	})
+	if d := time.Since(lookupStart) - fillDur; d > 0 {
+		spans.observe(spanCacheLookup, lookupStart, d)
+	} else {
+		spans.observe(spanCacheLookup, lookupStart, 0)
+	}
 	if err == nil && !hit && s.opts.Faults.Should(faultinject.CacheCorrupt) {
 		s.cache.CorruptEntry(key)
 	}
@@ -345,7 +387,7 @@ func (s *Server) runCached(ctx context.Context, req *hetwire.RunRequest) ([]byte
 
 // runSweep executes a sweep point by point, consulting the cache for each
 // and honouring cancellation between points.
-func (s *Server) runSweep(ctx context.Context, sw *SweepRequest) ([]byte, bool, error) {
+func (s *Server) runSweep(ctx context.Context, sw *SweepRequest, spans *spanRecorder) ([]byte, bool, error) {
 	reqs, err := sw.expand()
 	if err != nil {
 		return nil, false, err
@@ -356,7 +398,7 @@ func (s *Server) runSweep(ctx context.Context, sw *SweepRequest) ([]byte, bool, 
 			return nil, false, err
 		}
 		req := &reqs[i]
-		body, hit, err := s.runCached(ctx, req)
+		body, hit, err := s.runCached(ctx, req, spans)
 		if err != nil {
 			return nil, false, fmt.Errorf("point %s/%s/n=%d: %w",
 				req.Benchmark, req.Model, req.Instructions(), err)
@@ -412,31 +454,42 @@ func (s *Server) deadlineFor(sub *submitRequest) time.Duration {
 
 // submit validates, registers, and enqueues a job. A non-empty idemKey makes
 // the submission idempotent: a retry carrying the same key returns the job
-// the first attempt created instead of enqueueing a duplicate.
-func (s *Server) submit(sub *submitRequest, idemKey string) (job *Job, replayed bool, err error) {
+// the first attempt created instead of enqueueing a duplicate. Every
+// rejection is counted by machine-readable reason before it returns.
+func (s *Server) submit(sub *submitRequest, idemKey, traceID string) (job *Job, replayed bool, err error) {
 	kind := "run"
 	if sub.Sweep != nil {
 		kind = "sweep"
 		reqs, err := sub.Sweep.expand()
 		if err != nil {
+			err = &hetwire.RequestError{Code: hetwire.ReasonBadRequest, Err: err}
+			s.metrics.ObserveRejection(hetwire.ReasonCode(err))
 			return nil, false, err
 		}
 		if len(reqs) > s.opts.MaxSweepPoints {
-			return nil, false, fmt.Errorf("server: sweep expands to %d points, limit is %d", len(reqs), s.opts.MaxSweepPoints)
+			err := &hetwire.RequestError{Code: hetwire.ReasonSweepTooLarge,
+				Err: fmt.Errorf("server: sweep expands to %d points, limit is %d", len(reqs), s.opts.MaxSweepPoints)}
+			s.metrics.ObserveRejection(hetwire.ReasonCode(err))
+			return nil, false, err
 		}
 		for i := range reqs {
 			if reqs[i].N > hetwire.MaxInstructions {
-				return nil, false, fmt.Errorf("server: sweep point n=%d exceeds the per-request limit of %d",
-					reqs[i].N, uint64(hetwire.MaxInstructions))
+				err := &hetwire.RequestError{Code: hetwire.ReasonBudgetExceeded,
+					Err: fmt.Errorf("server: sweep point n=%d exceeds the per-request limit of %d",
+						reqs[i].N, uint64(hetwire.MaxInstructions))}
+				s.metrics.ObserveRejection(hetwire.ReasonCode(err))
+				return nil, false, err
 			}
 		}
 	} else if err := sub.RunRequest.Validate(); err != nil {
+		s.metrics.ObserveRejection(hetwire.ReasonCode(err))
 		return nil, false, err
 	}
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		s.metrics.ObserveRejection("draining")
 		return nil, false, ErrDraining
 	}
 	if idemKey != "" {
@@ -448,7 +501,7 @@ func (s *Server) submit(sub *submitRequest, idemKey string) (job *Job, replayed 
 		}
 	}
 	s.nextID++
-	job = newJob(s.baseCtx, fmt.Sprintf("j-%06d", s.nextID), kind, s.deadlineFor(sub), time.Now())
+	job = newJob(s.baseCtx, fmt.Sprintf("j-%06d", s.nextID), kind, traceID, s.deadlineFor(sub), time.Now())
 	job.Req = sub.RunRequest
 	job.Sweep = sub.Sweep
 	job.idemKey = idemKey
@@ -465,7 +518,9 @@ func (s *Server) submit(sub *submitRequest, idemKey string) (job *Job, replayed 
 		s.dropLocked(job)
 		s.mu.Unlock()
 		if errors.Is(err, ErrQueueFull) {
-			s.metrics.jobsRejected.Add(1)
+			s.metrics.ObserveRejection("queue_full")
+		} else {
+			s.metrics.ObserveRejection("draining")
 		}
 		return nil, false, err
 	}
@@ -532,10 +587,11 @@ func (s *Server) retryAfter() time.Duration {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var sub submitRequest
 	if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
+		s.metrics.ObserveRejection("bad_json")
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	job, replayed, err := s.submit(&sub, r.Header.Get("Idempotency-Key"))
+	job, replayed, err := s.submit(&sub, r.Header.Get("Idempotency-Key"), hetwire.TraceIDFrom(r.Context()))
 	if err != nil {
 		s.submitError(w, err)
 		return
@@ -551,14 +607,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 // submitError maps a submission failure to its HTTP response; queue-full
 // rejections become 429 with a Retry-After hint derived from the observed
-// drain rate.
+// drain rate. The body carries the machine-readable reason code alongside
+// the human-readable message so clients can branch without string matching.
 func (s *Server) submitError(w http.ResponseWriter, err error) {
 	if errors.Is(err, ErrQueueFull) {
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.retryAfter()/time.Second)))
-		httpError(w, http.StatusTooManyRequests, err)
+		httpErrorReason(w, http.StatusTooManyRequests, "queue_full", err)
 		return
 	}
-	httpError(w, submitStatus(err), err)
+	if errors.Is(err, ErrDraining) {
+		httpErrorReason(w, http.StatusServiceUnavailable, "draining", err)
+		return
+	}
+	httpErrorReason(w, submitStatus(err), hetwire.ReasonCode(err), err)
 }
 
 // handleRunSync submits a run and blocks until it completes, returning the
@@ -566,10 +627,11 @@ func (s *Server) submitError(w http.ResponseWriter, err error) {
 func (s *Server) handleRunSync(w http.ResponseWriter, r *http.Request) {
 	var req hetwire.RunRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.metrics.ObserveRejection("bad_json")
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	job, _, err := s.submit(&submitRequest{RunRequest: req}, r.Header.Get("Idempotency-Key"))
+	job, _, err := s.submit(&submitRequest{RunRequest: req}, r.Header.Get("Idempotency-Key"), hetwire.TraceIDFrom(r.Context()))
 	if err != nil {
 		s.submitError(w, err)
 		return
@@ -705,4 +767,11 @@ func httpError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// httpErrorReason is httpError plus a machine-readable reason field.
+func httpErrorReason(w http.ResponseWriter, status int, reason string, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error(), "reason": reason})
 }

@@ -105,18 +105,24 @@ func (r *RunRequest) ResolveConfig() (Config, error) {
 // Validate checks the request without running it, including the admission
 // limits: instruction budgets beyond MaxInstructions and multiprogrammed
 // requests with more programs than MaxBenchmarks (or than the resolved
-// topology has clusters) are rejected with instructive errors.
+// topology has clusters) are rejected with instructive errors. Every
+// rejection is a *RequestError carrying a machine-readable reason code
+// (see ReasonCode); the daemon surfaces the code to clients and counts
+// rejections per code in /metrics.
 func (r *RunRequest) Validate() error {
 	if (r.Benchmark == "") == (len(r.Benchmarks) == 0) {
-		return fmt.Errorf("hetwire: request must set exactly one of benchmark and benchmarks")
+		return &RequestError{Code: ReasonBadRequest,
+			Err: fmt.Errorf("hetwire: request must set exactly one of benchmark and benchmarks")}
 	}
 	if r.N > MaxInstructions {
-		return fmt.Errorf("hetwire: instruction budget %d exceeds the per-request limit of %d (split the run, or use the library API for batch windows)",
-			r.N, uint64(MaxInstructions))
+		return &RequestError{Code: ReasonBudgetExceeded,
+			Err: fmt.Errorf("hetwire: instruction budget %d exceeds the per-request limit of %d (split the run, or use the library API for batch windows)",
+				r.N, uint64(MaxInstructions))}
 	}
 	if len(r.Benchmarks) > MaxBenchmarks {
-		return fmt.Errorf("hetwire: %d programs exceed the multiprogrammed limit of %d (no topology has more clusters)",
-			len(r.Benchmarks), MaxBenchmarks)
+		return &RequestError{Code: ReasonTooManyPrograms,
+			Err: fmt.Errorf("hetwire: %d programs exceed the multiprogrammed limit of %d (no topology has more clusters)",
+				len(r.Benchmarks), MaxBenchmarks)}
 	}
 	names := r.Benchmarks
 	if r.Benchmark != "" {
@@ -129,15 +135,17 @@ func (r *RunRequest) Validate() error {
 		if _, ok := workload.KernelByName(b); ok {
 			continue
 		}
-		return fmt.Errorf("hetwire: unknown benchmark %q (see Benchmarks() and Kernels())", b)
+		return &RequestError{Code: ReasonUnknownBenchmark,
+			Err: fmt.Errorf("hetwire: unknown benchmark %q (see Benchmarks() and Kernels())", b)}
 	}
 	cfg, err := r.ResolveConfig()
 	if err != nil {
-		return err
+		return &RequestError{Code: ReasonBadConfig, Err: err}
 	}
 	if n := len(r.Benchmarks); n > cfg.Topology.Clusters() {
-		return fmt.Errorf("hetwire: %d programs need %d clusters but the topology has %d",
-			n, n, cfg.Topology.Clusters())
+		return &RequestError{Code: ReasonTopologyMismatch,
+			Err: fmt.Errorf("hetwire: %d programs need %d clusters but the topology has %d",
+				n, n, cfg.Topology.Clusters())}
 	}
 	return nil
 }

@@ -1,0 +1,26 @@
+package hetwire
+
+import "context"
+
+// traceIDKey is the context key for the request-trace identifier. The ID is
+// minted by the client (or the daemon, for clients that send none) and rides
+// the X-Hetwire-Trace header through the daemon into the worker's job
+// context, so one simulation can be followed across process boundaries:
+// client logs, daemon request logs, job logs, and span timings all carry it.
+type traceIDKey struct{}
+
+// WithTraceID returns a context carrying the request-trace identifier.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceIDFrom extracts the request-trace identifier, or "" when the context
+// carries none. ExecuteContext-side code (and fault injectors, loggers, or
+// probes running under the job context) can use it to label their output.
+func TraceIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}
