@@ -56,6 +56,31 @@ type Report struct {
 	// enabled (streaming to a discarded trace); the disabled path is required
 	// to stay within noise of the plain simulator.
 	ProbeOverhead *ProbeOverhead `json:"probe_overhead,omitempty"`
+	// BatchThroughput measures the batch engine's sweep-level parallelism:
+	// the same scenario matrix executed at several worker counts, with
+	// speedup relative to the sequential run.
+	BatchThroughput *BatchThroughput `json:"batch_throughput,omitempty"`
+}
+
+// BatchRow is one worker count's measurement of the batch matrix.
+type BatchRow struct {
+	Workers         int     `json:"workers"`
+	WallMS          float64 `json:"wall_ms"`
+	ScenariosPerSec float64 `json:"scenarios_per_sec"`
+	// Speedup is sequential wall clock over this row's wall clock.
+	Speedup float64 `json:"speedup"`
+}
+
+// BatchThroughput is the parallel-batch cost readout: the full matrix run
+// sequentially, then at 1, 2, and GOMAXPROCS workers through the batch
+// engine. Results are bit-identical at every row (pinned by the golden
+// corpus); only wall clock moves.
+type BatchThroughput struct {
+	Scenarios    int        `json:"scenarios"`
+	N            uint64     `json:"n"`
+	GoMaxProcs   int        `json:"gomaxprocs"`
+	SequentialMS float64    `json:"sequential_ms"`
+	Rows         []BatchRow `json:"rows"`
 }
 
 // ProbeOverhead is the probes-off vs probes-on cost comparison.
@@ -158,6 +183,75 @@ func measureProbeOverhead(count uint64) (*ProbeOverhead, error) {
 	}, nil
 }
 
+// batchMatrix is the 18-scenario sweep the batch rows measure: the full
+// model × topology × benchmark matrix as one BatchRequest.
+func batchMatrix(count uint64, parallelism int) *hetwire.BatchRequest {
+	return &hetwire.BatchRequest{
+		Sweep: &hetwire.BatchSweep{
+			Models:     []string{"I", "V", "VIII"},
+			Benchmarks: []string{"gcc", "mcf", "swim"},
+			Clusters:   []int{4, 16},
+			Ns:         []uint64{count},
+		},
+		Parallelism: parallelism,
+	}
+}
+
+// measureBatch times the batch matrix sequentially and at increasing worker
+// counts. The workload memo cache is warmed first (a tiny-N pass builds every
+// benchmark's static structure), so every measured row sees identical cache
+// state and the comparison isolates scheduling, not build amortisation.
+func measureBatch(count uint64) (*BatchThroughput, error) {
+	warm := batchMatrix(1_000, 0)
+	if _, err := warm.Execute(); err != nil {
+		return nil, err
+	}
+	run := func(parallelism int) (time.Duration, error) {
+		req := batchMatrix(count, parallelism)
+		runtime.GC()
+		start := time.Now()
+		resp, err := req.Execute()
+		if err != nil {
+			return 0, err
+		}
+		if resp.Failed > 0 {
+			return 0, fmt.Errorf("batch run: %d of %d scenarios failed", resp.Failed, len(resp.Scenarios))
+		}
+		return time.Since(start), nil
+	}
+
+	seq, err := run(1)
+	if err != nil {
+		return nil, err
+	}
+	nScen := 3 * 3 * 2
+	bt := &BatchThroughput{
+		Scenarios:    nScen,
+		N:            count,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		SequentialMS: float64(seq) / float64(time.Millisecond),
+	}
+	workers := []int{1, 2, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, w := range workers {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		wall, err := run(w)
+		if err != nil {
+			return nil, err
+		}
+		bt.Rows = append(bt.Rows, BatchRow{
+			Workers:         w,
+			WallMS:          float64(wall) / float64(time.Millisecond),
+			ScenariosPerSec: float64(nScen) / wall.Seconds(),
+			Speedup:         seq.Seconds() / wall.Seconds(),
+		})
+	}
+	return bt, nil
+}
+
 func main() {
 	var (
 		out   = flag.String("out", "BENCH_hetwire.json", "output file ('-' for stdout)")
@@ -199,6 +293,17 @@ func main() {
 	rep.ProbeOverhead = po
 	fmt.Fprintf(os.Stderr, "probe overhead %s/%s/%s n=%-7d %10.0f instrs/s off %10.0f instrs/s on (%+.2f%%)\n",
 		po.Model, po.Topology, po.Benchmark, po.N, po.OffInstrsPerSec, po.OnInstrsPerSec, po.OverheadPct)
+
+	bt, err := measureBatch(count)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: batch throughput: %v\n", err)
+		os.Exit(1)
+	}
+	rep.BatchThroughput = bt
+	for _, row := range bt.Rows {
+		fmt.Fprintf(os.Stderr, "batch matrix %d scenarios n=%-7d workers=%-2d %8.0f ms %6.2f scen/s speedup %.2fx\n",
+			bt.Scenarios, bt.N, row.Workers, row.WallMS, row.ScenariosPerSec, row.Speedup)
+	}
 
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

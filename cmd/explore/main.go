@@ -19,11 +19,12 @@ func main() {
 		ic   = flag.Float64("ic", 0.10, "interconnect share of baseline processor energy (0.10 or 0.20)")
 		n    = flag.Uint64("n", 100_000, "instructions per benchmark")
 		top  = flag.Int("top", 10, "designs to print")
+		j    = flag.Int("j", 0, "parallel scenario executions across the design×benchmark batch (0 = all CPUs)")
 	)
 	flag.Parse()
 
 	fmt.Printf("exploring link compositions within %.1f Model-I area units (IC share %.0f%%)\n\n", *area, 100**ic)
-	r := hetwire.ExploreArea(*area, *ic, hetwire.Options{Instructions: *n})
+	r := hetwire.ExploreArea(*area, *ic, hetwire.Options{Instructions: *n, Parallelism: *j})
 
 	t := stats.NewTable("rank", "link (per direction)", "area", "AM IPC", "rel energy", "rel ED2", "paper model")
 	for i, p := range r.Points {

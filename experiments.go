@@ -1,12 +1,13 @@
 package hetwire
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
+	"hetwire/internal/batch"
 	"hetwire/internal/config"
 	"hetwire/internal/core"
 	"hetwire/internal/energy"
@@ -73,34 +74,41 @@ func (s suiteRun) measurement(inventory map[wires.Class]float64) energy.RunMeasu
 	return m
 }
 
-// runSuite simulates every benchmark on the configuration, in parallel.
+// runSuite simulates every benchmark on the configuration, in parallel on
+// the batch engine: one engine item per benchmark, statistics collected into
+// index-addressed slots so the aggregate is deterministic regardless of
+// completion order, CPU tokens shared with every other parallel surface in
+// the process (a driver running inside a hetwired worker composes with the
+// daemon's pool instead of oversubscribing it).
 func runSuite(cfg config.Config, opt Options) suiteRun {
-	out := suiteRun{perBench: make(map[string]core.Stats, len(opt.Benchmarks))}
-	var mu sync.Mutex
-	sem := make(chan struct{}, opt.Parallelism)
-	var wg sync.WaitGroup
-	for _, name := range opt.Benchmarks {
+	profs := make([]workload.Profile, len(opt.Benchmarks))
+	for i, name := range opt.Benchmarks {
 		prof, ok := workload.ByName(name)
 		if !ok {
 			panic(fmt.Sprintf("hetwire: unknown benchmark %q", name))
 		}
-		wg.Add(1)
-		go func(prof workload.Profile) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			proc := core.New(cfg)
-			gen := workload.NewGenerator(prof)
-			proc.Warmup(gen, opt.Warmup)
-			st := proc.Run(gen, opt.Instructions)
-			mu.Lock()
-			out.perBench[prof.Name] = st
-			mu.Unlock()
-		}(prof)
+		profs[i] = prof
 	}
-	wg.Wait()
-	for _, name := range opt.Benchmarks {
-		out.ipcs = append(out.ipcs, out.perBench[name].IPC())
+	sts := make([]core.Stats, len(profs))
+	errs := batch.Run(context.Background(), len(profs), opt.Parallelism, func(_ context.Context, i int) error {
+		proc := core.New(cfg)
+		gen := workload.NewGenerator(profs[i])
+		proc.Warmup(gen, opt.Warmup)
+		sts[i] = proc.Run(gen, opt.Instructions)
+		return nil
+	})
+	for i, err := range errs {
+		if err != nil {
+			// Simulations never return errors here; an entry means the item
+			// panicked (the engine contains it). That is a simulator bug the
+			// drivers must not paper over.
+			panic(fmt.Sprintf("hetwire: suite benchmark %s: %v", profs[i].Name, err))
+		}
+	}
+	out := suiteRun{perBench: make(map[string]core.Stats, len(opt.Benchmarks))}
+	for i, name := range opt.Benchmarks {
+		out.perBench[name] = sts[i]
+		out.ipcs = append(out.ipcs, sts[i].IPC())
 	}
 	return out
 }

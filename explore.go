@@ -1,10 +1,15 @@
 package hetwire
 
 import (
+	"context"
+	"fmt"
 	"sort"
 
+	"hetwire/internal/batch"
 	"hetwire/internal/config"
+	"hetwire/internal/core"
 	"hetwire/internal/energy"
+	"hetwire/internal/workload"
 )
 
 // DesignPoint is one candidate link composition in a design-space
@@ -30,31 +35,12 @@ type ExploreResult struct {
 // Best returns the ED^2-optimal design.
 func (r ExploreResult) Best() DesignPoint { return r.Points[0] }
 
-// ExploreArea enumerates every feasible heterogeneous link composition
-// within the given metal-area budget (in Model-I link units: Model I = 1.0,
-// the paper's largest designs = 3.0), simulates each on the benchmark
-// suite, and ranks them by total-processor ED^2 — making the paper's
-// Section 3 remark ("evaluations of this nature help identify the most
-// promising ways to exploit such a resource") an executable query.
-//
-// The enumeration steps wires in whole transfer widths (72 B, 72 PW, 18 L
-// per direction) and requires at least one wide (B or PW) plane. icFraction
-// is the interconnect share of baseline processor energy (0.10 or 0.20).
-func ExploreArea(areaBudget, icFraction float64, opt Options) ExploreResult {
-	opt = opt.withDefaults()
-	res := ExploreResult{AreaBudget: areaBudget, ICFraction: icFraction}
-
-	// The normalisation baseline: the paper's Model I.
-	baseCfg := config.Default()
-	baseRun := runSuite(baseCfg, opt)
-	baseMeas := baseRun.measurement(inventoryFor(baseCfg))
-	em := energy.Model{Baseline: baseMeas, ICFraction: icFraction}
-
-	named := make(map[config.LinkSpec]ModelID, 10)
-	for _, m := range config.Models() {
-		named[m.Link] = m.ID
-	}
-
+// enumerateLinks lists every feasible heterogeneous link composition within
+// the metal-area budget, in deterministic enumeration order: wires step in
+// whole transfer widths (72 B, 72 PW, 18 L per direction) and at least one
+// wide (B or PW) plane is required for 72-bit messages.
+func enumerateLinks(areaBudget float64) []config.LinkSpec {
+	var links []config.LinkSpec
 	for b := 0; b*72 <= int(areaBudget*144/2); b++ {
 		for pw := 0; ; pw++ {
 			areaSoFar := (2*float64(b*72) + float64(pw*72)) / 144
@@ -70,19 +56,85 @@ func ExploreArea(areaBudget, icFraction float64, opt Options) ExploreResult {
 					l++
 					continue // need a wide plane for 72-bit messages
 				}
-				cfg := config.Default().WithLink(link)
-				run := runSuite(cfg, opt)
-				meas := run.measurement(inventoryFor(cfg))
-				res.Points = append(res.Points, DesignPoint{
-					Link:       link,
-					MetalArea:  link.MetalArea(),
-					IPC:        run.AMIPC(),
-					RelEnergy:  em.RelativeProcessorEnergy(meas),
-					RelED2:     em.RelativeED2(meas),
-					PaperModel: named[link],
-				})
+				links = append(links, link)
 			}
 		}
+	}
+	return links
+}
+
+// ExploreArea enumerates every feasible heterogeneous link composition
+// within the given metal-area budget (in Model-I link units: Model I = 1.0,
+// the paper's largest designs = 3.0), simulates each on the benchmark
+// suite, and ranks them by total-processor ED^2 — making the paper's
+// Section 3 remark ("evaluations of this nature help identify the most
+// promising ways to exploit such a resource") an executable query.
+//
+// The whole design × benchmark matrix runs as one flat batch on the engine,
+// so scenario-level parallelism covers the entire exploration rather than
+// one suite at a time; icFraction is the interconnect share of baseline
+// processor energy (0.10 or 0.20).
+func ExploreArea(areaBudget, icFraction float64, opt Options) ExploreResult {
+	opt = opt.withDefaults()
+	res := ExploreResult{AreaBudget: areaBudget, ICFraction: icFraction}
+
+	// The normalisation baseline: the paper's Model I.
+	baseCfg := config.Default()
+	baseRun := runSuite(baseCfg, opt)
+	baseMeas := baseRun.measurement(inventoryFor(baseCfg))
+	em := energy.Model{Baseline: baseMeas, ICFraction: icFraction}
+
+	named := make(map[config.LinkSpec]ModelID, 10)
+	for _, m := range config.Models() {
+		named[m.Link] = m.ID
+	}
+
+	links := enumerateLinks(areaBudget)
+	nb := len(opt.Benchmarks)
+	profs := make([]workload.Profile, nb)
+	for i, name := range opt.Benchmarks {
+		prof, ok := workload.ByName(name)
+		if !ok {
+			panic(fmt.Sprintf("hetwire: unknown benchmark %q", name))
+		}
+		profs[i] = prof
+	}
+	cfgs := make([]config.Config, len(links))
+	for i, link := range links {
+		cfgs[i] = config.Default().WithLink(link)
+	}
+
+	// One flat scenario list: item i is (link i/nb, benchmark i%nb).
+	sts := make([]core.Stats, len(links)*nb)
+	errs := batch.Run(context.Background(), len(sts), opt.Parallelism, func(_ context.Context, i int) error {
+		proc := core.New(cfgs[i/nb])
+		gen := workload.NewGenerator(profs[i%nb])
+		proc.Warmup(gen, opt.Warmup)
+		sts[i] = proc.Run(gen, opt.Instructions)
+		return nil
+	})
+	for i, err := range errs {
+		if err != nil {
+			panic(fmt.Sprintf("hetwire: explore scenario %d: %v", i, err))
+		}
+	}
+
+	for li, link := range links {
+		run := suiteRun{perBench: make(map[string]core.Stats, nb)}
+		for bi, name := range opt.Benchmarks {
+			st := sts[li*nb+bi]
+			run.perBench[name] = st
+			run.ipcs = append(run.ipcs, st.IPC())
+		}
+		meas := run.measurement(inventoryFor(cfgs[li]))
+		res.Points = append(res.Points, DesignPoint{
+			Link:       link,
+			MetalArea:  link.MetalArea(),
+			IPC:        run.AMIPC(),
+			RelEnergy:  em.RelativeProcessorEnergy(meas),
+			RelED2:     em.RelativeED2(meas),
+			PaperModel: named[link],
+		})
 	}
 	sort.Slice(res.Points, func(i, j int) bool { return res.Points[i].RelED2 < res.Points[j].RelED2 })
 	return res

@@ -47,6 +47,63 @@ func FuzzConfigFromJSON(f *testing.F) {
 	})
 }
 
+// FuzzBatchRequestValidate exercises batch admission with arbitrary batch
+// documents. Validate must never panic, and three invariants hold for every
+// input: a batch Validate accepts must Expand to within MaxSweepPoints with
+// every scenario individually valid; expansion must be deterministic (two
+// Expand calls agree); and validation must not mutate the request.
+func FuzzBatchRequestValidate(f *testing.F) {
+	f.Add([]byte(`{"scenarios":[{"benchmark":"gcc","n":5000}]}`))
+	f.Add([]byte(`{"sweep":{"models":["I","V"],"benchmarks":["gcc","mcf"],"clusters":[4,16],"ns":[4000,16000]}}`))
+	f.Add([]byte(`{"scenarios":[{"benchmark":"gcc"}],"sweep":{"models":["VIII"],"benchmarks":["swim"]}}`))
+	f.Add([]byte(`{"sweep":{"models":["I"],"benchmarks":["gcc"],"ns":[1,2,3,4,5,6,7,8,9,10]},"parallelism":4}`))
+	f.Add([]byte(`{}`))                                       // empty: no scenarios
+	f.Add([]byte(`{"parallelism":-1,"scenarios":[{"benchmark":"gcc"}]}`)) // negative parallelism
+	f.Add([]byte(`{"scenarios":[{"benchmark":"no-such-benchmark"}]}`))   // bad scenario
+	f.Add([]byte(`{"sweep":{"models":["I"],"benchmarks":["gcc"],"clusters":[7]}}`))       // bad clusters
+	f.Add([]byte(`{"sweep":{"benchmarks":["gcc"]}}`))                                     // missing models axis
+	f.Add([]byte(`{"sweep":{"models":["I","V","VIII","X"],"benchmarks":["gcc","mcf","swim","gzip"],` +
+		`"clusters":[4,16],"ns":[1000,2000,3000,4000,5000,6000,7000,8000,9000,10000,11000,12000,13000,` +
+		`14000,15000,16000,17000,18000,19000,20000,21000,22000,23000,24000,25000,26000,27000,28000,29000,` +
+		`30000,31000,32000]}}`)) // 4*4*2*33 = 1056 > MaxSweepPoints
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var req BatchRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return
+		}
+		before, err := json.Marshal(req)
+		if err != nil {
+			return // unmarshalable exotic values; not this fuzzer's concern
+		}
+		if err := req.Validate(); err != nil {
+			if ReasonCode(err) == "" {
+				t.Fatalf("rejection without a reason code: %v", err)
+			}
+			return
+		}
+		after, _ := json.Marshal(req)
+		if string(before) != string(after) {
+			t.Fatalf("Validate mutated the request:\nbefore %s\nafter  %s", before, after)
+		}
+		reqs, err := req.Expand()
+		if err != nil {
+			t.Fatalf("validated batch fails to expand: %v\nrequest: %s", err, raw)
+		}
+		if len(reqs) == 0 || len(reqs) > MaxSweepPoints {
+			t.Fatalf("validated batch expands to %d scenarios\nrequest: %s", len(reqs), raw)
+		}
+		for i := range reqs {
+			if err := reqs[i].Validate(); err != nil {
+				t.Fatalf("validated batch contains invalid scenario %d: %v\nrequest: %s", i, err, raw)
+			}
+		}
+		reqs2, err := req.Expand()
+		if err != nil || len(reqs2) != len(reqs) {
+			t.Fatalf("expansion not deterministic: %d vs %d scenarios (err %v)", len(reqs), len(reqs2), err)
+		}
+	})
+}
+
 // FuzzRunRequestValidate exercises the serving API's request validation with
 // arbitrary request documents. Validate must never panic, and any request it
 // accepts must also produce a cache key (the daemon calls CacheKey right

@@ -1,0 +1,169 @@
+// Package batch is the deterministic parallel execution engine for scenario
+// sweeps: a bounded worker pool over an indexed work list, gated by a
+// process-wide CPU-token semaphore so every parallel surface in the process
+// — the hetwired worker pool, an intra-job batch, the experiment drivers —
+// draws from one budget instead of oversubscribing the machine.
+//
+// Determinism contract: items are addressed by index, never by completion
+// order. Run gives every item a dedicated slot in its result slice, so the
+// output of a batch is identical at any parallelism level provided each
+// item's own work is deterministic (simulations are). Scheduling order is
+// unspecified; nothing observable may depend on it.
+//
+// Composition contract: an item's context is marked as holding a CPU token.
+// A nested Run (an item that itself fans out) detects the mark and degrades
+// to sequential execution in the caller's goroutine under the already-held
+// token — nesting can never deadlock the token pool, it just doesn't
+// multiply parallelism. Callers that want a flat N×M sweep to parallelize
+// fully should expand it into one Run over N*M items.
+package batch
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// TokenPool is a counting semaphore of CPU execution slots.
+type TokenPool struct {
+	ch chan struct{}
+}
+
+// NewTokenPool creates a pool of n tokens (minimum 1).
+func NewTokenPool(n int) *TokenPool {
+	if n < 1 {
+		n = 1
+	}
+	return &TokenPool{ch: make(chan struct{}, n)}
+}
+
+// CPU is the process-wide pool, sized to GOMAXPROCS at startup: one token
+// per hardware execution slot the runtime will actually use.
+var CPU = NewTokenPool(runtime.GOMAXPROCS(0))
+
+// Cap reports the pool's token count.
+func (p *TokenPool) Cap() int { return cap(p.ch) }
+
+// InUse reports how many tokens are currently held.
+func (p *TokenPool) InUse() int { return len(p.ch) }
+
+// Acquire takes a token, blocking until one is free or ctx is cancelled.
+func (p *TokenPool) Acquire(ctx context.Context) error {
+	// Fast path: a free token beats racing ctx in select's random choice,
+	// so an already-cancelled ctx still wins only when the pool is empty.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case p.ch <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case p.ch <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a token taken by Acquire.
+func (p *TokenPool) Release() { <-p.ch }
+
+type tokenKey struct{}
+
+// WithToken marks ctx as running under a held CPU token. Work started under
+// this context must not acquire a second token (see HasToken).
+func WithToken(ctx context.Context) context.Context {
+	return context.WithValue(ctx, tokenKey{}, true)
+}
+
+// HasToken reports whether ctx is already running under a CPU token, i.e.
+// the caller is inside an item of some Run (or another token-holding frame)
+// and must not block on the pool again.
+func HasToken(ctx context.Context) bool {
+	v, _ := ctx.Value(tokenKey{}).(bool)
+	return v
+}
+
+// Run executes fn(ctx, i) for every i in [0, n) with at most parallelism
+// concurrent executions, each holding one CPU token from the shared pool.
+// It returns a slice of n per-item errors in index order:
+//
+//   - a nil entry is a completed item;
+//   - an item whose fn returned an error (or panicked — panics are contained
+//     per item) records that error without affecting any other item;
+//   - cancelling ctx stops the whole batch: items not yet started record
+//     ctx's error, items already running finish under their own ctx.
+//
+// parallelism <= 0 means the CPU pool capacity. A nested call (ctx already
+// holds a token) runs sequentially under the held token; see the package
+// comment for the composition contract.
+func Run(ctx context.Context, n, parallelism int, fn func(ctx context.Context, i int) error) []error {
+	errs := make([]error, n)
+	if n == 0 {
+		return errs
+	}
+	if parallelism <= 0 {
+		parallelism = CPU.Cap()
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if HasToken(ctx) || parallelism == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
+			errs[i] = runOne(ctx, i, fn)
+		}
+		return errs
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				// Each worker writes only its own index; no lock needed.
+				errs[i] = runOne(ctx, i, fn)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			continue
+		}
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			errs[i] = ctx.Err()
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return errs
+}
+
+// runOne executes a single item: acquire a CPU token unless the context
+// already holds one, mark the item context, contain panics.
+func runOne(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
+	if !HasToken(ctx) {
+		if err := CPU.Acquire(ctx); err != nil {
+			return err
+		}
+		defer CPU.Release()
+		ctx = WithToken(ctx)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("batch: item %d panicked: %v", i, r)
+		}
+	}()
+	return fn(ctx, i)
+}

@@ -1,0 +1,227 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunDeterministicOrdering: results land at their item index no matter
+// how many workers race, so the output is identical at every parallelism.
+func TestRunDeterministicOrdering(t *testing.T) {
+	const n = 200
+	for _, par := range []int{1, 2, 7, n} {
+		out := make([]int, n)
+		errs := Run(context.Background(), n, par, func(_ context.Context, i int) error {
+			out[i] = i * i
+			return nil
+		})
+		for i := 0; i < n; i++ {
+			if errs[i] != nil {
+				t.Fatalf("par=%d item %d: %v", par, i, errs[i])
+			}
+			if out[i] != i*i {
+				t.Fatalf("par=%d out[%d] = %d, want %d", par, i, out[i], i*i)
+			}
+		}
+	}
+}
+
+// TestRunErrorIsolation: one failing item records its error without
+// disturbing any neighbour.
+func TestRunErrorIsolation(t *testing.T) {
+	boom := errors.New("boom")
+	errs := Run(context.Background(), 10, 4, func(_ context.Context, i int) error {
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	for i, err := range errs {
+		if i == 3 {
+			if !errors.Is(err, boom) {
+				t.Errorf("item 3: err = %v, want boom", err)
+			}
+		} else if err != nil {
+			t.Errorf("item %d: unexpected error %v", i, err)
+		}
+	}
+}
+
+// TestRunPanicContainment: a panicking item becomes that item's error; the
+// batch and the other items complete.
+func TestRunPanicContainment(t *testing.T) {
+	errs := Run(context.Background(), 8, 4, func(_ context.Context, i int) error {
+		if i == 5 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if errs[5] == nil || !strings.Contains(errs[5].Error(), "item 5 panicked: kaboom") {
+		t.Errorf("errs[5] = %v, want contained panic", errs[5])
+	}
+	for i, err := range errs {
+		if i != 5 && err != nil {
+			t.Errorf("item %d: unexpected error %v", i, err)
+		}
+	}
+}
+
+// TestRunCancellation: cancelling mid-batch marks undispatched items with the
+// context error; nothing hangs.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 50
+	var started atomic.Int32
+	errs := Run(ctx, n, 1, func(_ context.Context, i int) error {
+		started.Add(1)
+		if i == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if got := started.Load(); got != 3 {
+		t.Fatalf("%d items ran, want 3 (sequential run cancelled at item 2)", got)
+	}
+	for i := 0; i < 3; i++ {
+		if errs[i] != nil {
+			t.Errorf("item %d ran before cancel but errored: %v", i, errs[i])
+		}
+	}
+	for i := 3; i < n; i++ {
+		if !errors.Is(errs[i], context.Canceled) {
+			t.Errorf("item %d: err = %v, want context.Canceled", i, errs[i])
+		}
+	}
+}
+
+// TestRunNestedSequential: an item that itself calls Run degrades to
+// sequential under the held token — the composition contract — and the whole
+// nest finishes without deadlocking the CPU pool even when the outer
+// parallelism exceeds the pool.
+func TestRunNestedSequential(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		outer := Run(context.Background(), 2*CPU.Cap()+2, 0, func(ctx context.Context, i int) error {
+			if !HasToken(ctx) {
+				return fmt.Errorf("item %d context not marked with token", i)
+			}
+			inner := Run(ctx, 3, 0, func(ctx context.Context, j int) error {
+				if !HasToken(ctx) {
+					return fmt.Errorf("nested item %d context lost token mark", j)
+				}
+				return nil
+			})
+			for _, err := range inner {
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		for i, err := range outer {
+			if err != nil {
+				t.Errorf("outer item %d: %v", i, err)
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("nested Run deadlocked")
+	}
+}
+
+// TestRunBoundsParallelism: at most parallelism items run at once.
+func TestRunBoundsParallelism(t *testing.T) {
+	const par = 3
+	var inFlight, peak atomic.Int32
+	Run(context.Background(), 30, par, func(_ context.Context, _ int) error {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return nil
+	})
+	if got := peak.Load(); got > par {
+		t.Errorf("peak concurrency %d exceeds parallelism %d", got, par)
+	}
+}
+
+func TestRunZeroItems(t *testing.T) {
+	if errs := Run(context.Background(), 0, 4, nil); len(errs) != 0 {
+		t.Errorf("Run(0 items) = %d errors", len(errs))
+	}
+}
+
+// TestTokenPool covers the semaphore directly: capacity, blocking Acquire
+// released by a peer, and cancellation while waiting.
+func TestTokenPool(t *testing.T) {
+	p := NewTokenPool(2)
+	if p.Cap() != 2 || p.InUse() != 0 {
+		t.Fatalf("fresh pool cap=%d inuse=%d", p.Cap(), p.InUse())
+	}
+	ctx := context.Background()
+	if err := p.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if p.InUse() != 2 {
+		t.Fatalf("inuse = %d, want 2", p.InUse())
+	}
+
+	// A third Acquire blocks until a Release.
+	acquired := make(chan error, 1)
+	go func() { acquired <- p.Acquire(ctx) }()
+	select {
+	case err := <-acquired:
+		t.Fatalf("Acquire on a full pool returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	p.Release()
+	select {
+	case err := <-acquired:
+		if err != nil {
+			t.Fatalf("Acquire after Release: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Acquire never observed the Release")
+	}
+
+	// Cancellation while waiting on a full pool returns the ctx error.
+	cctx, cancel := context.WithCancel(context.Background())
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- p.Acquire(cctx) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-waitErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled Acquire = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled Acquire never returned")
+	}
+
+	p.Release()
+	p.Release()
+	if p.InUse() != 0 {
+		t.Fatalf("inuse = %d after releasing all, want 0", p.InUse())
+	}
+
+	if NewTokenPool(0).Cap() != 1 {
+		t.Error("NewTokenPool(0) should clamp to 1 token")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -30,12 +31,14 @@ func (s JobState) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
-// Job is one queued unit of work: a single/multiprogrammed run or a sweep.
+// Job is one queued unit of work: a single/multiprogrammed run, a sweep, or
+// a batch.
 type Job struct {
 	ID    string
-	Kind  string // "run" or "sweep"
+	Kind  string // "run", "sweep", or "batch"
 	Req   hetwire.RunRequest
 	Sweep *SweepRequest
+	Batch *hetwire.BatchRequest
 	// TraceID is the request-trace identifier the job was submitted under
 	// (client-minted or daemon-minted); immutable after submission.
 	TraceID string
@@ -46,6 +49,7 @@ type Job struct {
 	idemKey  string        // Idempotency-Key the job was submitted under, if any
 	deadline time.Duration // wall-clock budget from submission
 	spans    *spanRecorder // per-phase timings, base = submission time
+	progress *batchProgress // per-scenario progress, batch jobs only
 
 	mu         sync.Mutex
 	state      JobState
@@ -187,10 +191,15 @@ type JobStatus struct {
 	// TraceID is the request-trace identifier the job runs under; pass it as
 	// X-Hetwire-Trace on related requests to correlate daemon logs.
 	TraceID string `json:"trace_id,omitempty"`
-	// Spans is the per-phase timing breakdown (queue_wait, cache_lookup,
-	// sim_run, result_encode), milliseconds relative to submission. Sweep
-	// jobs merge per-point phases into one span per name.
-	Spans  []Span          `json:"spans,omitempty"`
+	// Spans is the per-phase timing breakdown (queue_wait, cpu_wait,
+	// cache_lookup, sim_run, result_encode), milliseconds relative to
+	// submission. Sweep and batch jobs merge per-point phases into one span
+	// per name.
+	Spans []Span `json:"spans,omitempty"`
+	// Batch is the per-scenario progress of a batch job, available from
+	// submission on — a poll during the run sees completed scenarios before
+	// the job reaches a terminal state.
+	Batch  *BatchStatus    `json:"batch,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
 }
 
@@ -223,6 +232,9 @@ func (j *Job) Status(withResult bool) JobStatus {
 	if withResult && j.state == StateDone {
 		st.Result = j.body
 	}
+	// Batch progress is read outside j.mu (it has its own lock) but the
+	// pointer itself is immutable after submission.
+	st.Batch = j.progress.snapshot(withResult)
 	return st
 }
 
@@ -324,4 +336,101 @@ type SweepPoint struct {
 type SweepResponse struct {
 	Points    []SweepPoint `json:"points"`
 	CacheHits int          `json:"cache_hits"`
+}
+
+// BatchPointStatus is one scenario's live state within a batch job.
+type BatchPointStatus struct {
+	Index     int     `json:"index"`
+	Benchmark string  `json:"benchmark,omitempty"`
+	Model     string  `json:"model,omitempty"`
+	Clusters  int     `json:"clusters,omitempty"`
+	N         uint64  `json:"n"`
+	State     string  `json:"state"` // "pending", "done", or "failed"
+	IPC       float64 `json:"ipc,omitempty"`
+	Cached    bool    `json:"cached,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	WallMS    float64 `json:"wall_ms,omitempty"`
+}
+
+// BatchStatus summarises a batch job's progress; Points carries the
+// per-scenario detail on full status reads.
+type BatchStatus struct {
+	Total     int                `json:"total"`
+	Completed int                `json:"completed"`
+	Failed    int                `json:"failed"`
+	CacheHits int                `json:"cache_hits"`
+	Points    []BatchPointStatus `json:"points,omitempty"`
+}
+
+// batchProgress is the mutable progress record behind BatchStatus. Scenario
+// workers update their own point under the progress lock; status polls
+// snapshot concurrently, which is what makes partial batch results visible
+// while the job is still running.
+type batchProgress struct {
+	mu     sync.Mutex
+	points []BatchPointStatus
+	done   int
+	failed int
+	hits   int
+}
+
+// newBatchProgress pre-populates one pending point per expanded scenario.
+func newBatchProgress(reqs []hetwire.RunRequest) *batchProgress {
+	p := &batchProgress{points: make([]BatchPointStatus, len(reqs))}
+	for i := range reqs {
+		bench := reqs[i].Benchmark
+		if bench == "" && len(reqs[i].Benchmarks) > 0 {
+			bench = strings.Join(reqs[i].Benchmarks, "+")
+		}
+		p.points[i] = BatchPointStatus{
+			Index:     i,
+			Benchmark: bench,
+			Model:     reqs[i].Model,
+			Clusters:  reqs[i].Clusters,
+			N:         reqs[i].Instructions(),
+			State:     "pending",
+		}
+	}
+	return p
+}
+
+// finishPoint records one scenario's outcome.
+func (p *batchProgress) finishPoint(i int, ipc float64, cached bool, err error, wall time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pt := &p.points[i]
+	pt.WallMS = float64(wall) / float64(time.Millisecond)
+	if err != nil {
+		pt.State = "failed"
+		pt.Error = err.Error()
+		p.failed++
+		return
+	}
+	pt.State = "done"
+	pt.IPC = ipc
+	pt.Cached = cached
+	p.done++
+	if cached {
+		p.hits++
+	}
+}
+
+// snapshot renders the progress; nil receiver (non-batch jobs) yields nil.
+func (p *batchProgress) snapshot(withPoints bool) *BatchStatus {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := &BatchStatus{
+		Total:     len(p.points),
+		Completed: p.done,
+		Failed:    p.failed,
+		CacheHits: p.hits,
+	}
+	if withPoints {
+		st.Points = make([]BatchPointStatus, len(p.points))
+		copy(st.Points, p.points)
+	}
+	return st
 }

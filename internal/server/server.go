@@ -8,7 +8,7 @@
 // Endpoints:
 //
 //	POST   /v1/run        synchronous run; X-Hetwired-Cache: hit|miss
-//	POST   /v1/jobs       submit a run or sweep job; returns its id
+//	POST   /v1/jobs       submit a run, sweep, or batch job; returns its id
 //	GET    /v1/jobs       list job statuses (?state= filters)
 //	GET    /v1/jobs/{id}  poll one job; result body included when done
 //	DELETE /v1/jobs/{id}  cancel a queued or running job
@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"hetwire"
+	"hetwire/internal/batch"
 	"hetwire/internal/config"
 	"hetwire/internal/faultinject"
 )
@@ -304,6 +305,8 @@ func (s *Server) runJob(job *Job) {
 	switch job.Kind {
 	case "sweep":
 		body, hit, err = s.runSweep(job.ctx, job.Sweep, job.spans)
+	case "batch":
+		body, hit, err = s.runBatch(job)
 	default:
 		body, hit, err = s.runCached(job.ctx, &job.Req, job.spans)
 	}
@@ -351,6 +354,19 @@ func sleepCtx(ctx context.Context, d time.Duration) {
 func (s *Server) runCached(ctx context.Context, req *hetwire.RunRequest, spans *spanRecorder) ([]byte, bool, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
+	}
+	// Hold a process CPU token across the lookup-or-fill, unless this frame
+	// already runs under one (a batch scenario). Acquiring before cache.Do is
+	// what keeps the pool deadlock-free: a coalescing flight leader always
+	// already holds its token, so waiters holding tokens never starve it.
+	if !batch.HasToken(ctx) {
+		waitStart := time.Now()
+		if err := batch.CPU.Acquire(ctx); err != nil {
+			return nil, false, err
+		}
+		defer batch.CPU.Release()
+		spans.observe(spanCPUWait, waitStart, time.Since(waitStart))
+		ctx = batch.WithToken(ctx)
 	}
 	key, err := req.CacheKey()
 	if err != nil {
@@ -418,6 +434,70 @@ func (s *Server) runSweep(ctx context.Context, sw *SweepRequest, spans *spanReco
 	return body, out.CacheHits == len(reqs), err
 }
 
+// runBatch executes a batch job on the shared engine: scenarios run in
+// parallel under the process CPU-token budget, each going through the result
+// cache individually, with per-scenario spans merged into the job's recorder
+// and per-scenario progress published as each one finishes (a status poll
+// mid-run sees the completed prefix). The merged response is deterministic —
+// scenarios land at their expansion index regardless of completion order —
+// and scenario failures are isolated into their slot rather than failing the
+// job; only cancellation or a deadline ends the job early.
+func (s *Server) runBatch(job *Job) ([]byte, bool, error) {
+	ctx := job.ctx
+	reqs, err := job.Batch.Expand()
+	if err != nil {
+		return nil, false, err
+	}
+	type slot struct {
+		body []byte
+		hit  bool
+	}
+	slots := make([]slot, len(reqs))
+	errs := batch.Run(ctx, len(reqs), job.Batch.Parallelism, func(ctx context.Context, i int) error {
+		start := time.Now()
+		body, hit, err := s.runCached(ctx, &reqs[i], job.spans)
+		job.progress.finishPoint(i, ipcOf(body), hit, err, time.Since(start))
+		if err != nil {
+			return err
+		}
+		slots[i] = slot{body: body, hit: hit}
+		return nil
+	})
+	out := hetwire.BatchResponse{Scenarios: make([]hetwire.BatchScenario, len(reqs))}
+	for i := range out.Scenarios {
+		sc := &out.Scenarios[i]
+		sc.Index = i
+		sc.Request = reqs[i]
+		if errs[i] != nil {
+			sc.Error = errs[i].Error()
+			if errors.Is(errs[i], context.Canceled) || errors.Is(errs[i], context.DeadlineExceeded) {
+				sc.Reason = "cancelled"
+			} else {
+				sc.Reason = hetwire.ReasonCode(errs[i])
+			}
+			out.Failed++
+			continue
+		}
+		var resp hetwire.RunResponse
+		if err := json.Unmarshal(slots[i].body, &resp); err != nil {
+			return nil, false, fmt.Errorf("batch scenario %d: decoding result: %w", i, err)
+		}
+		sc.Response = &resp
+		sc.Cached = slots[i].hit
+		if slots[i].hit {
+			out.CacheHits++
+		}
+		out.Completed++
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	encStart := time.Now()
+	body, err := json.Marshal(out)
+	job.spans.observe(spanResultEncode, encStart, time.Since(encStart))
+	return body, out.CacheHits == len(reqs), err
+}
+
 // ipcOf extracts the summary IPC from a marshalled response body.
 func ipcOf(body []byte) float64 {
 	var v struct {
@@ -429,11 +509,13 @@ func ipcOf(body []byte) float64 {
 	return v.IPC
 }
 
-// submitRequest is the POST /v1/jobs body: either run-request fields inline
-// or a "sweep" object, plus an optional per-job deadline override.
+// submitRequest is the POST /v1/jobs body: run-request fields inline, a
+// "sweep" object, or a "batch" object, plus an optional per-job deadline
+// override.
 type submitRequest struct {
 	hetwire.RunRequest
-	Sweep *SweepRequest `json:"sweep,omitempty"`
+	Sweep *SweepRequest         `json:"sweep,omitempty"`
+	Batch *hetwire.BatchRequest `json:"batch,omitempty"`
 	// DeadlineMS overrides the server's default per-job wall-clock budget,
 	// capped at Options.MaxDeadline.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
@@ -458,7 +540,34 @@ func (s *Server) deadlineFor(sub *submitRequest) time.Duration {
 // rejection is counted by machine-readable reason before it returns.
 func (s *Server) submit(sub *submitRequest, idemKey, traceID string) (job *Job, replayed bool, err error) {
 	kind := "run"
-	if sub.Sweep != nil {
+	var batchReqs []hetwire.RunRequest
+	if sub.Batch != nil && sub.Sweep != nil {
+		err := &hetwire.RequestError{Code: hetwire.ReasonBadRequest,
+			Err: fmt.Errorf("server: a submission carries either batch or sweep, not both")}
+		s.metrics.ObserveRejection(hetwire.ReasonCode(err))
+		return nil, false, err
+	}
+	if sub.Batch != nil {
+		kind = "batch"
+		if err := sub.Batch.Validate(); err != nil {
+			s.metrics.ObserveRejection(hetwire.ReasonCode(err))
+			return nil, false, err
+		}
+		reqs, err := sub.Batch.Expand()
+		if err != nil { // unreachable after Validate, but don't trust it
+			s.metrics.ObserveRejection(hetwire.ReasonCode(err))
+			return nil, false, err
+		}
+		// Validate enforced the library-wide MaxSweepPoints; the daemon's own
+		// per-job limit may be tighter.
+		if len(reqs) > s.opts.MaxSweepPoints {
+			err := &hetwire.RequestError{Code: hetwire.ReasonBatchTooLarge,
+				Err: fmt.Errorf("server: batch expands to %d scenarios, limit is %d", len(reqs), s.opts.MaxSweepPoints)}
+			s.metrics.ObserveRejection(hetwire.ReasonCode(err))
+			return nil, false, err
+		}
+		batchReqs = reqs
+	} else if sub.Sweep != nil {
 		kind = "sweep"
 		reqs, err := sub.Sweep.expand()
 		if err != nil {
@@ -504,6 +613,10 @@ func (s *Server) submit(sub *submitRequest, idemKey, traceID string) (job *Job, 
 	job = newJob(s.baseCtx, fmt.Sprintf("j-%06d", s.nextID), kind, traceID, s.deadlineFor(sub), time.Now())
 	job.Req = sub.RunRequest
 	job.Sweep = sub.Sweep
+	job.Batch = sub.Batch
+	if batchReqs != nil {
+		job.progress = newBatchProgress(batchReqs)
+	}
 	job.idemKey = idemKey
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)

@@ -61,9 +61,10 @@ func ensureTraceID(w http.ResponseWriter, r *http.Request) string {
 }
 
 // Span is one timed phase of a job's lifecycle, relative to submission.
-// The daemon records queue_wait, cache_lookup, sim_run, and result_encode;
-// sweep jobs merge the per-point phases into one span per name, so the span
-// list stays bounded no matter how many points a sweep expands to.
+// The daemon records queue_wait, cpu_wait, cache_lookup, sim_run, and
+// result_encode; sweep and batch jobs merge the per-point phases into one
+// span per name, so the span list stays bounded no matter how many points a
+// job expands to.
 type Span struct {
 	Name string `json:"name"`
 	// StartMS is when the phase first began, in milliseconds after the job
@@ -77,6 +78,7 @@ type Span struct {
 // Span names recorded by the daemon.
 const (
 	spanQueueWait    = "queue_wait"
+	spanCPUWait      = "cpu_wait"
 	spanCacheLookup  = "cache_lookup"
 	spanSimRun       = "sim_run"
 	spanResultEncode = "result_encode"

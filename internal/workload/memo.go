@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"container/list"
+	"expvar"
+	"sync"
+	"unsafe"
+)
+
+// Static-program memoization.
+//
+// Building a profile's static program (buildProgram) costs far more than
+// streaming its first few thousand instructions: block construction, memory
+// pattern placement, and the Zipf CDF are O(StaticBlocks + WorkingSet). A
+// sweep re-running the same benchmark across ten interconnect models pays
+// that cost once per scenario unless the build is shared. The Cache below
+// memoizes programs content-addressed by the full Profile value (Profile is
+// a flat comparable struct, so the key *is* the content: two requests share
+// an entry exactly when every parameter — seed, mix, locality, address
+// offset — is equal, the same condition under which their streams are
+// byte-identical).
+//
+// Invalidation contract: a program depends on nothing but the Profile and
+// the generator code itself. Profiles are immutable values, so entries can
+// never go stale at runtime; the only invalidation is process restart after
+// a code change, which the golden corpus re-pins. Eviction is therefore
+// purely a memory-budget concern, handled LRU under a byte budget.
+//
+// Concurrency: cached artifacts are shared read-only across generators (the
+// mutable memory-pattern table is cloned per generator; see program), so any
+// number of goroutines may draw generators for the same profile at once. A
+// concurrent miss may build the same program twice; both builds are
+// deterministic and identical, so whichever loses the insert race is simply
+// dropped.
+
+// DefaultMemoBytes is the Shared cache budget: comfortably above the whole
+// SPEC2K suite plus per-thread multiprogrammed variants (a program retains
+// roughly 50–400 KiB), small next to one simulator instance.
+const DefaultMemoBytes = 32 << 20
+
+// Shared is the process-wide program memo used by NewGenerator.
+var Shared = NewCache(DefaultMemoBytes)
+
+// Cache memoizes built static programs under a byte budget with LRU
+// eviction. The zero value is not usable; construct with NewCache.
+type Cache struct {
+	mu      sync.Mutex
+	budget  int64
+	bytes   int64
+	ll      *list.List // front = most recently used
+	entries map[Profile]*list.Element
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type memoEntry struct {
+	key Profile
+	pr  *program
+}
+
+// NewCache creates a program cache holding at most budget bytes of build
+// artifacts. A budget <= 0 disables retention: every Generator call builds
+// cold (and counts as a miss).
+func NewCache(budget int64) *Cache {
+	return &Cache{
+		budget:  budget,
+		ll:      list.New(),
+		entries: make(map[Profile]*list.Element),
+	}
+}
+
+// Generator returns a fresh deterministic stream for the profile, reusing
+// the memoized static program when one is cached and building (and caching)
+// it otherwise. Generators from hits and misses are indistinguishable.
+func (c *Cache) Generator(p Profile) *Generator {
+	p = p.normalized()
+	c.mu.Lock()
+	if el, ok := c.entries[p]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		pr := el.Value.(*memoEntry).pr
+		c.mu.Unlock()
+		return newFromProgram(p, pr)
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Build outside the lock: programs take milliseconds to construct and
+	// holding the lock would serialize concurrent cold scenarios. A racing
+	// builder may insert first; the duplicate build below is then discarded.
+	pr := buildProgram(p)
+
+	c.mu.Lock()
+	if _, ok := c.entries[p]; !ok && pr.bytes <= c.budget {
+		c.entries[p] = c.ll.PushFront(&memoEntry{key: p, pr: pr})
+		c.bytes += pr.bytes
+		for c.bytes > c.budget {
+			back := c.ll.Back()
+			if back == nil || back == c.ll.Front() {
+				break // never evict the entry just inserted
+			}
+			ent := back.Value.(*memoEntry)
+			c.ll.Remove(back)
+			delete(c.entries, ent.key)
+			c.bytes -= ent.pr.bytes
+			c.evictions++
+		}
+	}
+	c.mu.Unlock()
+	return newFromProgram(p, pr)
+}
+
+// MemoStats is a point-in-time readout of a Cache.
+type MemoStats struct {
+	Hits, Misses, Evictions uint64
+	Bytes                   int64
+	Entries                 int
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() MemoStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return MemoStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Bytes:     c.bytes,
+		Entries:   len(c.entries),
+	}
+}
+
+// sizeBytes estimates the heap retained by a program: slice headers are
+// ignored (constant noise), element payloads dominate.
+func (pr *program) sizeBytes() int64 {
+	n := int64(unsafe.Sizeof(*pr))
+	n += int64(len(pr.mems)) * int64(unsafe.Sizeof(memPattern{}))
+	n += int64(pr.zipf.TableLen()) * 8
+	for i := range pr.blocks {
+		n += int64(unsafe.Sizeof(staticBlock{}))
+		n += int64(len(pr.blocks[i].instrs)) * int64(unsafe.Sizeof(staticInstr{}))
+	}
+	return n
+}
+
+// The Shared cache's counters are published under expvar so the hetwired
+// debug listener (-debug-addr) exposes memo effectiveness alongside the
+// runtime's own variables.
+func init() {
+	expvar.Publish("hetwire_workload_memo", expvar.Func(func() any {
+		st := Shared.Stats()
+		return map[string]any{
+			"hits":      st.Hits,
+			"misses":    st.Misses,
+			"evictions": st.Evictions,
+			"bytes":     st.Bytes,
+			"entries":   st.Entries,
+		}
+	}))
+}

@@ -159,12 +159,50 @@ type Generator struct {
 	writersInBlock int
 }
 
-// NewGenerator builds the static program for a profile and returns a
-// deterministic stream over it.
-func NewGenerator(p Profile) *Generator {
+// normalized applies the constructor defaults, so profiles that differ only
+// in how the caller spelled a default share one memo-cache identity.
+func (p Profile) normalized() Profile {
 	if p.StaticBlocks <= 0 {
 		p.StaticBlocks = 256
 	}
+	return p
+}
+
+// NewGenerator returns a deterministic stream over the profile's static
+// program. The expensive static-program construction is memoized in the
+// process-wide Shared cache: repeated generators for the same profile reuse
+// the immutable build artifacts (basic blocks, memory-pattern templates,
+// Zipf table) and are bit-identical to a cold build — see NewGeneratorUncached
+// and the memo-cache contract in memo.go.
+func NewGenerator(p Profile) *Generator { return Shared.Generator(p) }
+
+// NewGeneratorUncached builds the static program from scratch, bypassing the
+// memo cache. It exists so tests can prove the cached path equivalent; the
+// two constructors must be behaviourally indistinguishable.
+func NewGeneratorUncached(p Profile) *Generator {
+	p = p.normalized()
+	return newFromProgram(p, buildProgram(p))
+}
+
+// program is the immutable product of building a profile's static code: the
+// basic blocks, the pristine memory-pattern table, the Zipf locality table,
+// and the RNG state the dynamic stream starts from. Everything here is
+// read-only after buildProgram returns (memory patterns are copied per
+// generator because streaming positions advance), so one program can back
+// any number of concurrent generators.
+type program struct {
+	blocks       []staticBlock
+	mems         []memPattern // template; cloned per generator
+	src          xrand.State  // generator RNG position at end of build
+	commonValues [12]uint64
+	wsLines      uint64
+	zipf         *xrand.Zipf // CDF table only; reseated per generator
+	bytes        int64       // approximate retained size, for cache budgeting
+}
+
+// buildProgram runs the cold static-program construction for a normalized
+// profile and captures the artifacts a generator needs to start streaming.
+func buildProgram(p Profile) *program {
 	g := &Generator{prof: p, src: xrand.New(p.Seed)}
 	for i := range g.recentWriters {
 		g.recentWriters[i] = trace.NoReg
@@ -182,6 +220,37 @@ func NewGenerator(p Profile) *Generator {
 		g.commonValues[i] = 1024 + vsrc.Uint64()>>1
 	}
 	g.build()
+	pr := &program{
+		blocks:       g.blocks,
+		mems:         append([]memPattern(nil), g.mems...),
+		src:          g.src.State(),
+		commonValues: g.commonValues,
+		wsLines:      g.wsLines,
+		zipf:         g.zipf,
+	}
+	pr.bytes = pr.sizeBytes()
+	return pr
+}
+
+// newFromProgram constructs a fresh generator over a built program. The
+// result is byte-for-byte the generator a cold build would have produced:
+// the RNG resumes from the post-build snapshot, memory patterns start from
+// their pristine positions, and all shared state is read-only.
+func newFromProgram(p Profile, pr *program) *Generator {
+	src := xrand.FromState(pr.src)
+	g := &Generator{
+		prof:         p,
+		src:          src,
+		blocks:       pr.blocks,
+		mems:         append([]memPattern(nil), pr.mems...),
+		wsLines:      pr.wsLines,
+		zipf:         pr.zipf.Reseat(src),
+		commonValues: pr.commonValues,
+	}
+	for i := range g.recentWriters {
+		g.recentWriters[i] = trace.NoReg
+	}
+	g.loopLeft = g.blocks[0].loopN
 	return g
 }
 

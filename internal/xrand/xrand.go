@@ -43,6 +43,17 @@ func Mix(seed, stream uint64) uint64 {
 	return splitmix64(&state)
 }
 
+// State is an opaque snapshot of a Source's position in its sequence.
+// Comparable and copyable, so cached artifacts can embed one by value.
+type State [4]uint64
+
+// State snapshots the source. FromState(s.State()) yields a source that
+// produces exactly the sequence s would have produced from this point on.
+func (s *Source) State() State { return s.s }
+
+// FromState reconstructs a Source at a snapshotted position.
+func FromState(st State) *Source { return &Source{s: st} }
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next value in the sequence.
@@ -126,6 +137,16 @@ func NewZipf(src *Source, n int, theta float64) *Zipf {
 	}
 	return &Zipf{cdf: cdf, src: src}
 }
+
+// Reseat returns a sampler drawing from src but sharing z's CDF table. The
+// table depends only on (n, theta) and is read-only after construction, so
+// one table can back any number of concurrent samplers — the workload memo
+// cache relies on this to share a benchmark's locality distribution across
+// generators without rebuilding it.
+func (z *Zipf) Reseat(src *Source) *Zipf { return &Zipf{cdf: z.cdf, src: src} }
+
+// TableLen reports the CDF table size (for cache byte accounting).
+func (z *Zipf) TableLen() int { return len(z.cdf) }
 
 // Next returns the next Zipf-distributed sample.
 func (z *Zipf) Next() int {

@@ -29,6 +29,9 @@ const (
 	// ReasonSweepTooLarge: a sweep expands to more points than the daemon's
 	// per-job limit.
 	ReasonSweepTooLarge = "sweep_too_large"
+	// ReasonBatchTooLarge: a batch request expands to more scenarios than
+	// MaxSweepPoints (or the daemon's configured per-job limit).
+	ReasonBatchTooLarge = "batch_too_large"
 	// ReasonInvalidRequest is the fallback code for validation errors that
 	// carry no specific reason.
 	ReasonInvalidRequest = "invalid_request"
