@@ -48,10 +48,15 @@ type Measurement struct {
 
 // Report is the top-level BENCH_hetwire.json document.
 type Report struct {
-	Schema    string        `json:"schema"`
-	GoVersion string        `json:"go_version"`
-	Quick     bool          `json:"quick,omitempty"`
-	Scenarios []Measurement `json:"scenarios"`
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	// NumCPU and GoMaxProcs record the host CPU topology the numbers were
+	// taken on. They make scaling rows self-describing: a batch speedup of
+	// ≈1.0x on num_cpu=1 is the host's ceiling, not the engine's.
+	NumCPU     int           `json:"num_cpu"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Quick      bool          `json:"quick,omitempty"`
+	Scenarios  []Measurement `json:"scenarios"`
 	// ProbeOverhead compares one scenario with telemetry probes disabled vs
 	// enabled (streaming to a discarded trace); the disabled path is required
 	// to stay within noise of the plain simulator.
@@ -72,12 +77,13 @@ type BatchRow struct {
 }
 
 // BatchThroughput is the parallel-batch cost readout: the full matrix run
-// sequentially, then at 1, 2, and GOMAXPROCS workers through the batch
+// sequentially, then at 1, 2, 4, and GOMAXPROCS workers through the batch
 // engine. Results are bit-identical at every row (pinned by the golden
 // corpus); only wall clock moves.
 type BatchThroughput struct {
 	Scenarios    int        `json:"scenarios"`
 	N            uint64     `json:"n"`
+	NumCPU       int        `json:"num_cpu"`
 	GoMaxProcs   int        `json:"gomaxprocs"`
 	SequentialMS float64    `json:"sequential_ms"`
 	Rows         []BatchRow `json:"rows"`
@@ -228,10 +234,14 @@ func measureBatch(count uint64) (*BatchThroughput, error) {
 	bt := &BatchThroughput{
 		Scenarios:    nScen,
 		N:            count,
+		NumCPU:       runtime.NumCPU(),
 		GoMaxProcs:   runtime.GOMAXPROCS(0),
 		SequentialMS: float64(seq) / float64(time.Millisecond),
 	}
-	workers := []int{1, 2, runtime.GOMAXPROCS(0)}
+	// 1/2/4 plus GOMAXPROCS gives a true scaling curve on multi-core hosts;
+	// on a single-core host every row collapses to ≈1.0x and the recorded
+	// num_cpu says why.
+	workers := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
 	seen := map[int]bool{}
 	for _, w := range workers {
 		if seen[w] {
@@ -268,7 +278,13 @@ func main() {
 		count = *n
 	}
 
-	rep := Report{Schema: "hetwire-bench/v1", GoVersion: runtime.Version(), Quick: *quick}
+	rep := Report{
+		Schema:     "hetwire-bench/v1",
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+	}
 	for _, mo := range models {
 		for _, tp := range topologies {
 			for _, bench := range benchmarks {

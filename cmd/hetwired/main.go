@@ -22,6 +22,18 @@
 //
 // SIGTERM or SIGINT drains gracefully: intake stops, queued jobs finish
 // (up to -drain-timeout), then the process exits.
+//
+// Cluster mode distributes batch sweeps across machines: one daemon runs as
+// the coordinator and any number of others join it as worker nodes, all
+// sharing one secret:
+//
+//	hetwired -coordinator -cluster-token s3cret -addr :8677
+//	hetwired -join http://coordinator:8677 -cluster-token s3cret
+//
+// Batch jobs submitted to the coordinator are sharded into work leases and
+// executed by the nodes; results are content-addressed and flow through the
+// coordinator's federated result cache, so repeated sweeps skip known
+// scenarios cluster-wide. See internal/cluster for the protocol.
 package main
 
 import (
@@ -43,6 +55,7 @@ import (
 
 	"hetwire"
 	"hetwire/internal/client"
+	"hetwire/internal/cluster/node"
 	"hetwire/internal/faultinject"
 	"hetwire/internal/server"
 )
@@ -68,6 +81,13 @@ func serve(args []string) {
 		drainT     = fs.Duration("drain-timeout", 30*time.Second, "how long to let jobs finish on SIGTERM")
 		quiet      = fs.Bool("quiet", false, "suppress per-request logging")
 		debugAddr  = fs.String("debug-addr", "", "optional introspection listener (host:port) serving /debug/pprof and /debug/vars; keep it off public interfaces")
+		coord      = fs.Bool("coordinator", false, "run as a cluster coordinator: serve /v1/cluster and execute batch jobs on joined worker nodes")
+		join       = fs.String("join", "", "join the coordinator at this base URL as a worker node instead of serving; requires -cluster-token")
+		token      = fs.String("cluster-token", os.Getenv("HETWIRE_CLUSTER_TOKEN"), "shared cluster secret (default $HETWIRE_CLUSTER_TOKEN); required with -coordinator and -join")
+		leaseSize  = fs.Int("lease-size", 0, "coordinator: scenarios per work lease; node: max scenarios to request per lease (0 = default)")
+		leaseTTL   = fs.Duration("lease-ttl", 0, "work-lease deadline before re-dispatch (0 = coordinator default)")
+		nodeName   = fs.String("node-name", "", "node label reported at registration (default: hostname)")
+		leaseLog   = fs.String("lease-log", "", "node: append one JSONL record per completed lease to this file")
 	)
 	fs.Parse(args)
 
@@ -83,6 +103,21 @@ func serve(args []string) {
 	if injector != nil {
 		logger.Printf("fault injection active: %s", injector)
 	}
+	if *join != "" {
+		joinCluster(logger, *join, *token, *nodeName, *workers, *leaseSize, *leaseLog)
+		return
+	}
+	var clusterOpts *server.ClusterOptions
+	if *coord {
+		if *token == "" {
+			logger.Fatalf("-coordinator requires a shared secret: set -cluster-token or $HETWIRE_CLUSTER_TOKEN (refusing to run an open coordinator)")
+		}
+		clusterOpts = &server.ClusterOptions{
+			Token:     *token,
+			LeaseSize: *leaseSize,
+			LeaseTTL:  *leaseTTL,
+		}
+	}
 	srv := server.New(server.Options{
 		Workers:         *workers,
 		QueueDepth:      *queueDepth,
@@ -91,6 +126,7 @@ func serve(args []string) {
 		MaxDeadline:     *maxDL,
 		Faults:          injector,
 		Logger:          reqLogger,
+		Cluster:         clusterOpts,
 	})
 	srv.Metrics().SetBuildInfo(buildVersion(), runtime.Version())
 
@@ -116,6 +152,9 @@ func serve(args []string) {
 	// port 0.
 	fmt.Printf("hetwired: listening on %s (workers=%d queue=%d cache=%dMiB)\n",
 		ln.Addr(), *workers, *queueDepth, *cacheMB)
+	if clusterOpts != nil {
+		fmt.Println("hetwired: coordinator mode on (/v1/cluster served, batch jobs run on joined nodes)")
+	}
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errCh := make(chan error, 1)
@@ -142,6 +181,54 @@ func serve(args []string) {
 	logger.Printf("drained: cache served %d hits, %d coalesced, %d misses (ratio %.2f)",
 		cs.Hits, cs.Coalesced, cs.Misses, cs.HitRatio())
 	fmt.Println("hetwired: drained, exiting")
+}
+
+// joinCluster runs the process as a cluster worker node against the
+// coordinator at base, until SIGTERM/SIGINT. A signal mid-lease abandons the
+// lease without uploading; the coordinator's lease expiry re-dispatches it.
+func joinCluster(logger *log.Logger, base, token, name string, parallelism, maxLease int, leaseLog string) {
+	if token == "" {
+		logger.Fatalf("-join requires the shared secret: set -cluster-token or $HETWIRE_CLUSTER_TOKEN")
+	}
+	if name == "" {
+		if hn, err := os.Hostname(); err == nil {
+			name = hn
+		}
+	}
+	var eventLog *os.File
+	if leaseLog != "" {
+		f, err := os.OpenFile(leaseLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Fatalf("opening -lease-log %s: %v", leaseLog, err)
+		}
+		defer f.Close()
+		eventLog = f
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		sig := <-sigCh
+		logger.Printf("received %v, leaving the cluster", sig)
+		cancel()
+	}()
+
+	fmt.Printf("hetwired: joining %s as %q (parallelism=%d)\n", base, name, parallelism)
+	err := node.Run(ctx, node.Options{
+		Coordinator: base,
+		Token:       token,
+		Name:        name,
+		Parallelism: parallelism,
+		MaxLease:    maxLease,
+		Logger:      logger,
+		EventLog:    eventLog,
+	})
+	if err != nil && ctx.Err() == nil {
+		logger.Fatalf("node: %v", err)
+	}
+	fmt.Println("hetwired: left the cluster, exiting")
 }
 
 // debugMux serves the runtime-introspection endpoints on a dedicated mux —

@@ -150,6 +150,22 @@ func Run(ctx context.Context, n, parallelism int, fn func(ctx context.Context, i
 	return errs
 }
 
+// RunRange is the shard-execution entry point: it runs fn(ctx, i) for every
+// absolute index i in [start, end) with the same token, panic-containment,
+// and cancellation semantics as Run, returning end-start per-item errors
+// where errs[k] belongs to absolute index start+k. A cluster node executes
+// its work lease — one contiguous shard of a batch's scenario index space —
+// through this, so shard execution composes with local parallel surfaces on
+// the one process-wide CPU-token budget.
+func RunRange(ctx context.Context, start, end, parallelism int, fn func(ctx context.Context, i int) error) []error {
+	if end < start {
+		end = start
+	}
+	return Run(ctx, end-start, parallelism, func(ctx context.Context, k int) error {
+		return fn(ctx, start+k)
+	})
+}
+
 // runOne executes a single item: acquire a CPU token unless the context
 // already holds one, mark the item context, contain panics.
 func runOne(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {

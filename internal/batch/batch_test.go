@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -223,5 +224,44 @@ func TestTokenPool(t *testing.T) {
 
 	if NewTokenPool(0).Cap() != 1 {
 		t.Error("NewTokenPool(0) should clamp to 1 token")
+	}
+}
+
+func TestRunRangeAddressesAbsoluteIndices(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	errs := RunRange(context.Background(), 10, 17, 3, func(_ context.Context, i int) error {
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+		if i == 12 {
+			return errors.New("slot failure")
+		}
+		return nil
+	})
+	if len(errs) != 7 {
+		t.Fatalf("RunRange returned %d errors, want 7", len(errs))
+	}
+	for i := 10; i < 17; i++ {
+		if !seen[i] {
+			t.Errorf("absolute index %d never executed", i)
+		}
+	}
+	// errs[k] belongs to absolute index 10+k.
+	if errs[2] == nil || errs[2].Error() != "slot failure" {
+		t.Errorf("errs[2] = %v, want the index-12 failure", errs[2])
+	}
+	for k, err := range errs {
+		if k != 2 && err != nil {
+			t.Errorf("errs[%d] = %v, want nil", k, err)
+		}
+	}
+
+	// An empty or inverted range runs nothing.
+	if n := len(RunRange(context.Background(), 5, 5, 1, nil)); n != 0 {
+		t.Errorf("empty range returned %d errors", n)
+	}
+	if n := len(RunRange(context.Background(), 9, 5, 1, nil)); n != 0 {
+		t.Errorf("inverted range returned %d errors", n)
 	}
 }

@@ -55,6 +55,10 @@ type Options struct {
 	// mints a fresh ID at construction — one per client, covering the whole
 	// submit/poll conversation of each operation.
 	TraceID string
+	// AuthToken, when non-empty, is sent as "Authorization: Bearer <token>"
+	// on every request. The cluster node agent uses it to authenticate
+	// against a hetwired coordinator's /v1/cluster endpoints.
+	AuthToken string
 }
 
 func (o Options) withDefaults() Options {
@@ -219,6 +223,27 @@ func (c *Client) Run(ctx context.Context, req *hetwire.RunRequest, deadlineMS in
 	return &resp, st, nil
 }
 
+// DoJSON performs one authenticated API operation under the client's full
+// fault-tolerance policy — retries with jittered exponential backoff,
+// Retry-After honoring, and the circuit breaker. body, when non-nil, is
+// marshalled as the JSON request body; out, when non-nil, receives the
+// decoded response. A POST retries only when idemKey is non-empty and the
+// server deduplicates replays of it; the cluster protocol's register, lease,
+// and upload operations are idempotent by construction (content-addressed
+// results, coordinator-side duplicate detection), which is what makes them
+// safe to drive through this retry loop.
+func (c *Client) DoJSON(ctx context.Context, method, path string, body any, idemKey string, out any) error {
+	var raw []byte
+	if body != nil {
+		var err error
+		raw, err = json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encoding %s %s body: %w", method, path, err)
+		}
+	}
+	return c.do(ctx, method, path, raw, idemKey, out)
+}
+
 // do performs one API operation with retries, backoff, Retry-After, and the
 // circuit breaker. Only idempotent operations retry: GET and DELETE always
 // are; a POST is retried only when idemKey is non-empty (the daemon then
@@ -272,6 +297,9 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, ide
 	}
 	if idemKey != "" {
 		req.Header.Set("Idempotency-Key", idemKey)
+	}
+	if c.opts.AuthToken != "" {
+		req.Header.Set("Authorization", "Bearer "+c.opts.AuthToken)
 	}
 	req.Header.Set(server.TraceHeader, c.opts.TraceID)
 	resp, err := c.opts.HTTPClient.Do(req)

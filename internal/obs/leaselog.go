@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// LeaseSchema identifies the cluster lease-event log format. Like the
+// sampling trace, the log is versioned JSONL so readers reject records
+// written by a future incompatible writer instead of misparsing them.
+const LeaseSchema = "hetwire-lease/v1"
+
+// LeaseEvent is one completed (or aborted) work lease as seen by the node
+// that executed it: which shard of which job it covered, how the scenarios
+// resolved, and the trace identifier that ties it back to the originating
+// batch request on the coordinator. Events carry no timestamps — ordering
+// is the append order of the log — so logs from deterministic replays diff
+// cleanly, matching the telemetry-trace contract.
+type LeaseEvent struct {
+	Schema  string `json:"schema"`
+	TraceID string `json:"trace_id,omitempty"`
+	JobID   string `json:"job_id"`
+	LeaseID string `json:"lease_id"`
+	// Node is the coordinator-assigned node identity that ran the lease.
+	Node string `json:"node"`
+	// Start (inclusive) and End (exclusive) bound the absolute scenario
+	// indices the lease covered.
+	Start int `json:"start"`
+	End   int `json:"end"`
+	// Simulated counts scenarios the node actually ran; Skipped counts those
+	// answered by the coordinator's federated cache index; Failed counts
+	// per-scenario errors isolated to their slots.
+	Simulated int `json:"simulated"`
+	Skipped   int `json:"skipped"`
+	Failed    int `json:"failed"`
+	// Aborted marks a lease the node abandoned before upload (shutdown or
+	// cancellation mid-lease); its indices are re-dispatched by lease expiry.
+	Aborted bool `json:"aborted,omitempty"`
+}
+
+// AppendLeaseEvent writes one lease event as a JSONL record, stamping the
+// schema. Safe to interleave with other writers only if w serializes writes
+// (the node agent owns its log writer).
+func AppendLeaseEvent(w io.Writer, ev LeaseEvent) error {
+	ev.Schema = LeaseSchema
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("obs: encoding lease event: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("obs: writing lease event: %w", err)
+	}
+	return nil
+}
+
+// ReadLeaseEvents parses a lease-event log, skipping blank lines and
+// rejecting records with a missing or unknown schema.
+func ReadLeaseEvents(r io.Reader) ([]LeaseEvent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var events []LeaseEvent
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var ev LeaseEvent
+		if err := json.Unmarshal([]byte(text), &ev); err != nil {
+			return nil, fmt.Errorf("obs: lease log line %d: %w", line, err)
+		}
+		if ev.Schema != LeaseSchema {
+			return nil, fmt.Errorf("obs: lease log line %d: unsupported schema %q (want %q)", line, ev.Schema, LeaseSchema)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading lease log: %w", err)
+	}
+	return events, nil
+}

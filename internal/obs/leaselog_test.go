@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLeaseEventRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	events := []LeaseEvent{
+		{TraceID: "t1", JobID: "cj-000001", LeaseID: "l-000001", Node: "n-0001",
+			Start: 0, End: 8, Simulated: 6, Skipped: 2},
+		{TraceID: "t1", JobID: "cj-000001", LeaseID: "l-000002", Node: "n-0002",
+			Start: 8, End: 12, Simulated: 3, Failed: 1},
+		{JobID: "cj-000002", LeaseID: "l-000003", Node: "n-0001",
+			Start: 0, End: 4, Aborted: true},
+	}
+	for _, ev := range events {
+		if err := AppendLeaseEvent(&buf, ev); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	got, err := ReadLeaseEvents(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, want %d", len(got), len(events))
+	}
+	for i := range got {
+		if got[i].Schema != LeaseSchema {
+			t.Errorf("event %d schema %q, want %q", i, got[i].Schema, LeaseSchema)
+		}
+		want := events[i]
+		want.Schema = LeaseSchema
+		if got[i] != want {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], want)
+		}
+	}
+}
+
+func TestReadLeaseEventsRejectsBadInput(t *testing.T) {
+	if _, err := ReadLeaseEvents(strings.NewReader("{not json\n")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := ReadLeaseEvents(strings.NewReader(`{"schema":"hetwire-lease/v99"}` + "\n")); err == nil {
+		t.Error("unknown schema accepted")
+	}
+	// Blank lines are tolerated.
+	var buf bytes.Buffer
+	if err := AppendLeaseEvent(&buf, LeaseEvent{JobID: "j", LeaseID: "l"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLeaseEvents(strings.NewReader("\n" + buf.String() + "\n\n"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("blank-line log: %d events, err %v", len(got), err)
+	}
+}

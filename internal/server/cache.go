@@ -140,6 +140,19 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	return ent.body, true
 }
 
+// Put stores a body under key without running a computation — the
+// federated-cache population path for results uploaded by cluster nodes.
+// The body is copied so the caller may reuse its buffer. An empty key or
+// body is ignored.
+func (c *Cache) Put(key string, body []byte) {
+	if key == "" || len(body) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insert(key, append([]byte(nil), body...))
+}
+
 // CorruptEntry deterministically flips one byte of the stored copy of key's
 // body (fault injection). The stored body is replaced with a mutated copy so
 // slices already handed to callers stay intact. Returns false when the key

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// fuzzClusterHandler builds one coordinator-mode handler shared by every fuzz
+// iteration: constructing a Server per input would dominate the fuzz loop.
+// The server is never shut down — the fuzz process exit reclaims it.
+var fuzzClusterHandler = sync.OnceValue(func() http.Handler {
+	s := New(Options{Workers: 1, Cluster: &ClusterOptions{Token: fuzzClusterToken}})
+	return s.Handler()
+})
+
+const fuzzClusterToken = "fuzz-cluster-secret"
+
+// clusterFuzzEndpoints maps the fuzz selector byte onto the protocol surface.
+var clusterFuzzEndpoints = []string{
+	"/v1/cluster/register",
+	"/v1/cluster/heartbeat",
+	"/v1/cluster/lease",
+	"/v1/cluster/cachecheck",
+	"/v1/cluster/upload",
+}
+
+// FuzzClusterProtocol throws arbitrary bodies at every cluster endpoint and
+// requires the coordinator to stay up: no panic (a panic fails the fuzz run),
+// no 5xx, and every rejection carries a machine-readable reason code. Bodies
+// are sent authenticated so they reach the decoder and the coordinator's
+// validation, not just the auth gate.
+func FuzzClusterProtocol(f *testing.F) {
+	// Structurally valid shapes, boundary junk, and type confusion.
+	f.Add(uint8(0), []byte(`{}`))
+	f.Add(uint8(0), []byte(`{"name":"n","protocol":1,"compat_hash":"nope"}`))
+	f.Add(uint8(0), []byte(`{not json`))
+	f.Add(uint8(1), []byte(`{"node_id":"n-9999"}`))
+	f.Add(uint8(1), []byte(`{"node_id":12345}`))
+	f.Add(uint8(2), []byte(`{"node_id":"n-0001","max":-7}`))
+	f.Add(uint8(2), []byte(`null`))
+	f.Add(uint8(3), []byte(`{"node_id":"n-0001","keys":["", "zzz"]}`))
+	f.Add(uint8(4), []byte(`{"node_id":"n-0001","lease_id":"l-000001","results":[{"index":-3}]}`))
+	f.Add(uint8(4), []byte(`{"results":[{"index":0,"body":{"x":1},"body_sha256":"mismatch"}]}`))
+	f.Add(uint8(4), []byte("\x00\xff\xfe"))
+	f.Add(uint8(255), []byte(``))
+
+	f.Fuzz(func(t *testing.T, which uint8, body []byte) {
+		path := clusterFuzzEndpoints[int(which)%len(clusterFuzzEndpoints)]
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Authorization", "Bearer "+fuzzClusterToken)
+		rec := httptest.NewRecorder()
+		fuzzClusterHandler().ServeHTTP(rec, req)
+
+		if rec.Code >= 500 {
+			t.Fatalf("%s: coordinator answered %d to %q", path, rec.Code, body)
+		}
+		if rec.Code >= 400 {
+			var msg struct {
+				Error  string `json:"error"`
+				Reason string `json:"reason"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &msg); err != nil {
+				t.Fatalf("%s: %d rejection is not JSON (%v): %q", path, rec.Code, err, rec.Body.String())
+			}
+			if msg.Reason == "" {
+				t.Fatalf("%s: %d rejection has no machine-readable reason: %q", path, rec.Code, rec.Body.String())
+			}
+		}
+	})
+}

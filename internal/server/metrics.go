@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hetwire/internal/cluster"
 	"hetwire/internal/stats"
 )
 
@@ -74,6 +75,11 @@ type Metrics struct {
 	// (SetBuildInfo), empty means the line is omitted.
 	buildVersion string
 	buildGo      string
+
+	// clusterStats, when set (coordinator mode), supplies the cluster
+	// coordinator's counters at render time; nil omits the cluster section
+	// entirely, keeping non-coordinator expositions unchanged.
+	clusterStats func() cluster.Stats
 
 	mu        sync.Mutex
 	endpoints map[string]*endpointMetrics
@@ -260,8 +266,15 @@ func (m *Metrics) render(w io.Writer, queueDepth int, draining bool, cs CacheSta
 		fmt.Fprintf(w, "hetwired_build_info{version=%q,go=%q} 1\n", m.buildVersion, m.buildGo)
 	}
 
+	m.renderCluster(w)
 	m.renderPhases(w)
 	m.renderEndpoints(w)
+}
+
+// SetClusterStats wires the coordinator's counter snapshot into the
+// exposition. Call once before serving (coordinator mode only).
+func (m *Metrics) SetClusterStats(fn func() cluster.Stats) {
+	m.clusterStats = fn
 }
 
 // renderRejections emits the per-reason rejection counters. The total line is

@@ -15,6 +15,11 @@
 //	GET    /v1/catalog    benchmarks, kernels, and interconnect models
 //	GET    /healthz       liveness (503 while draining)
 //	GET    /metrics       Prometheus text exposition
+//
+// Coordinator mode (Options.Cluster) adds the authenticated cluster
+// protocol — POST /v1/cluster/{register,heartbeat,lease,cachecheck,upload}
+// and GET /v1/cluster/nodes — and routes batch jobs to worker nodes; see
+// internal/cluster.
 package server
 
 import (
@@ -31,6 +36,7 @@ import (
 
 	"hetwire"
 	"hetwire/internal/batch"
+	"hetwire/internal/cluster"
 	"hetwire/internal/config"
 	"hetwire/internal/faultinject"
 )
@@ -59,6 +65,11 @@ type Options struct {
 	// Faults optionally wires the deterministic fault-injection harness into
 	// the worker path (chaos tests, HETWIRE_FAULTS). Nil injects nothing.
 	Faults *faultinject.Injector
+	// Cluster, when set, runs the daemon as a cluster coordinator: the
+	// /v1/cluster endpoints come up and batch jobs execute on registered
+	// worker nodes instead of the local CPU pool. Nil keeps the daemon
+	// single-box.
+	Cluster *ClusterOptions
 	// Logger receives structured request and job logs (default: discard).
 	Logger *log.Logger
 }
@@ -106,6 +117,9 @@ type Server struct {
 	queue   *jobQueue
 	cache   *Cache
 	metrics *Metrics
+	// coord is the cluster coordinator; nil unless Options.Cluster was set.
+	coord        *cluster.Coordinator
+	clusterToken string
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -142,6 +156,9 @@ func New(opts Options) *Server {
 	s.route("GET", "/v1/catalog", s.handleCatalog)
 	s.route("GET", "/healthz", s.handleHealthz)
 	s.route("GET", "/metrics", s.handleMetrics)
+	if opts.Cluster != nil {
+		s.initCluster(opts.Cluster)
+	}
 	// Catch-all for paths outside the served API: the request is still
 	// counted (under the bounded NormalizeRoute label) and traced, so probes
 	// for wrong URLs show up in /metrics instead of vanishing.
@@ -306,7 +323,11 @@ func (s *Server) runJob(job *Job) {
 	case "sweep":
 		body, hit, err = s.runSweep(job.ctx, job.Sweep, job.spans)
 	case "batch":
-		body, hit, err = s.runBatch(job)
+		if s.coord != nil {
+			body, hit, err = s.runClusterBatch(job)
+		} else {
+			body, hit, err = s.runBatch(job)
+		}
 	default:
 		body, hit, err = s.runCached(job.ctx, &job.Req, job.spans)
 	}

@@ -145,6 +145,13 @@ func NormalizeRoute(method, path string) string {
 	if rest, ok := strings.CutPrefix(path, "/v1/jobs/"); ok && rest != "" {
 		return method + " /v1/jobs/{id}"
 	}
+	if rest, ok := strings.CutPrefix(path, "/v1/cluster/"); ok {
+		switch rest {
+		case "register", "heartbeat", "lease", "cachecheck", "upload", "nodes":
+			return method + " /v1/cluster/" + rest
+		}
+		return method + " other"
+	}
 	switch path {
 	case "/v1/run", "/v1/jobs", "/v1/catalog", "/healthz", "/metrics":
 		return method + " " + path
