@@ -87,12 +87,12 @@ const (
 
 // slot is one scenario's state inside a cluster job.
 type slot struct {
-	state int
-	req   hetwire.RunRequest
-	key   string // content-addressed request identity (CacheKey)
-	body  []byte
-	sum   string // BodySum(body)
-	cached bool  // filled via the federated cache rather than a fresh run
+	state  int
+	req    hetwire.RunRequest
+	key    string // content-addressed request identity (CacheKey)
+	body   []byte
+	sum    string // BodySum(body)
+	cached bool   // filled via the federated cache rather than a fresh run
 	node   string
 	errMsg string
 	reason string
@@ -148,6 +148,11 @@ type Stats struct {
 	ScenariosRedispatched uint64
 	UploadsAccepted       uint64
 	UploadsDuplicate      uint64
+	// UploadsStale counts dropped scenario errors and skip markers from leases
+	// that no longer owned their slots (expired and possibly re-dispatched):
+	// only result bodies are trusted from stale leases, so the batch outcome
+	// cannot depend on straggler interleaving.
+	UploadsStale uint64
 	// UploadConflicts counts duplicate uploads whose bytes disagreed with the
 	// recorded result — impossible for deterministic simulations; a non-zero
 	// value means a node is misbehaving (first result wins).
@@ -317,6 +322,10 @@ func (c *Coordinator) Lease(req *LeaseRequest) (*LeaseResponse, error) {
 // before the node's skip marker arrives, in which case the index is
 // re-queued — so correctness never depends on the answer.
 func (c *Coordinator) CacheCheck(req *CacheCheckRequest) (*CacheCheckResponse, error) {
+	if len(req.Keys) > MaxCacheCheckKeys {
+		return nil, reqErr(hetwire.ReasonBadRequest,
+			"cache check carries %d keys, limit %d (split the check)", len(req.Keys), MaxCacheCheckKeys)
+	}
 	c.mu.Lock()
 	now := c.opts.Now()
 	c.sweepLocked(now)
@@ -338,11 +347,14 @@ func (c *Coordinator) CacheCheck(req *CacheCheckRequest) (*CacheCheckResponse, e
 	return &CacheCheckResponse{Known: known}, nil
 }
 
-// Upload records a lease's results. It is deliberately forgiving: results
-// for an expired or unknown lease are still accepted (the work is correct
-// whoever did it — results are content-addressed), already-filled slots
-// count as duplicates and change nothing, and a finished job answers
-// JobDone so stragglers stop resending.
+// Upload records a lease's results. It is deliberately forgiving about
+// result *bodies*: a body for an expired or unknown lease is still accepted
+// (the work is correct whoever did it — results are content-addressed),
+// already-filled slots count as duplicates and change nothing, and a
+// finished job answers JobDone so stragglers stop resending. Scenario
+// *errors* are the exception: only the lease that still owns the slot may
+// fail it, because a straggler's transient error overriding a healthy
+// re-dispatch would make the batch outcome depend on interleaving.
 func (c *Coordinator) Upload(req *UploadRequest) (*UploadResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -353,9 +365,15 @@ func (c *Coordinator) Upload(req *UploadRequest) (*UploadResponse, error) {
 		return nil, reqErr(ReasonUnknownNode, "unknown node %q (re-register)", req.NodeID)
 	}
 	n.lastSeen = now
+	// owned remembers the index range this upload's lease still held on
+	// arrival. An expired lease (or one belonging to another node) owns
+	// nothing: its scenario errors and requeue requests are stale.
+	ownStart, ownEnd := 0, 0
 	if ls, ok := c.leases[req.LeaseID]; ok && ls.nodeID == n.id {
+		ownStart, ownEnd = ls.start, ls.end
 		c.releaseLeaseLocked(ls)
 	}
+	owned := func(idx int) bool { return idx >= ownStart && idx < ownEnd }
 	j, ok := c.jobs[req.JobID]
 	if !ok {
 		return &UploadResponse{JobDone: true}, nil
@@ -368,6 +386,17 @@ func (c *Coordinator) Upload(req *UploadRequest) (*UploadResponse, error) {
 				"result index %d out of range for job %s (%d scenarios)", r.Index, j.id, len(j.slots))
 		}
 		sl := &j.slots[r.Index]
+		// A straggler result can land while its index sits in the pending
+		// queue (lease expired, index not yet re-leased). Accepting it must
+		// also retire the queue entry, or the index would be re-leased over
+		// the recorded result and resolve — decrementing j.open — twice.
+		wasPending := sl.state == slotPending
+		settle := func() {
+			j.open--
+			if wasPending {
+				j.pending = removeSorted(j.pending, r.Index)
+			}
+		}
 		switch {
 		case sl.state == slotDone || sl.state == slotFailed || sl.state == slotCancelled:
 			// Straggler after re-dispatch: verify the duplicate agrees.
@@ -380,20 +409,35 @@ func (c *Coordinator) Upload(req *UploadRequest) (*UploadResponse, error) {
 			}
 			resp.Duplicate++
 		case r.Error != "":
+			if !owned(r.Index) {
+				// Stale error from an expired lease: the slot is pending or
+				// re-leased, and a healthy node's result must win. Drop it.
+				c.stats.UploadsStale++
+				resp.Duplicate++
+				continue
+			}
 			sl.state = slotFailed
 			sl.errMsg = r.Error
 			sl.reason = r.Reason
 			sl.node = n.id
-			j.open--
+			settle()
 			c.stats.UploadsAccepted++
 			resp.Accepted++
 		case r.Skipped:
-			// Fill from the federated cache; if the entry vanished, re-queue.
+			// Fill from the federated cache; if the entry vanished, re-queue —
+			// but only a slot this lease still owns may re-enter the queue. A
+			// stale skip marker's slot is already pending or owned by another
+			// live lease, and queueing it again would duplicate the index.
 			body, ok := c.cacheGet(sl.key)
 			if !ok {
-				sl.state = slotPending
-				j.pending = insertSorted(j.pending, r.Index)
-				resp.Requeued = append(resp.Requeued, r.Index)
+				if owned(r.Index) {
+					sl.state = slotPending
+					j.pending = insertSorted(j.pending, r.Index)
+					resp.Requeued = append(resp.Requeued, r.Index)
+				} else {
+					c.stats.UploadsStale++
+					resp.Duplicate++
+				}
 				continue
 			}
 			sl.state = slotDone
@@ -401,7 +445,7 @@ func (c *Coordinator) Upload(req *UploadRequest) (*UploadResponse, error) {
 			sl.sum = BodySum(body)
 			sl.cached = true
 			sl.node = n.id
-			j.open--
+			settle()
 			j.fedHits++
 			c.stats.FederatedHits++
 			c.stats.UploadsAccepted++
@@ -418,7 +462,7 @@ func (c *Coordinator) Upload(req *UploadRequest) (*UploadResponse, error) {
 			sl.body = append([]byte(nil), r.Body...)
 			sl.sum = BodySum(sl.body)
 			sl.node = n.id
-			j.open--
+			settle()
 			c.stats.UploadsAccepted++
 			resp.Accepted++
 			if c.opts.Cache != nil && sl.key != "" {
@@ -674,21 +718,36 @@ func (c *Coordinator) releaseLeaseLocked(ls *leaseState) {
 
 // insertSorted inserts idx into the sorted index queue, keeping expansion
 // order: re-dispatched work is handed out lowest-index-first just like the
-// initial sharding.
+// initial sharding. The queue is a set — an index already present is left
+// alone, so no interleaving can make the same scenario leasable twice.
 func insertSorted(s []int, idx int) []int {
 	i := sort.SearchInts(s, idx)
+	if i < len(s) && s[i] == idx {
+		return s
+	}
 	s = append(s, 0)
 	copy(s[i+1:], s[i:])
 	s[i] = idx
 	return s
 }
 
+// removeSorted deletes idx from the sorted index queue if present: a slot
+// resolved while sitting in the queue (straggler upload between lease expiry
+// and re-lease) must not be handed out again.
+func removeSorted(s []int, idx int) []int {
+	i := sort.SearchInts(s, idx)
+	if i < len(s) && s[i] == idx {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
 // NodeInfo is one registered node in the coordinator's listing.
 type NodeInfo struct {
-	ID       string   `json:"id"`
-	Name     string   `json:"name"`
-	Caps     NodeCaps `json:"caps"`
-	Leases   int      `json:"leases"`
+	ID       string    `json:"id"`
+	Name     string    `json:"name"`
+	Caps     NodeCaps  `json:"caps"`
+	Leases   int       `json:"leases"`
 	LastSeen time.Time `json:"last_seen"`
 }
 

@@ -508,3 +508,186 @@ func TestLeaseIDsAndNodeIDsAreSequential(t *testing.T) {
 		}
 	}
 }
+
+// TestStragglerUploadWhilePendingRetiresQueueEntry covers the window between
+// lease expiry and re-lease: a straggler body landing while its index sits in
+// the pending queue must retire the queue entry, or the index would be
+// re-leased over the recorded result and resolve the slot twice (premature
+// completion, then a negative open count).
+func TestStragglerUploadWhilePendingRetiresQueueEntry(t *testing.T) {
+	clk := newFakeClock()
+	c := testCoordinator(t, clk, nil)
+	n1 := register(t, c, "slow")
+	n2 := register(t, c, "healthy")
+	_, done, err := c.Submit(testBatch(4), "")
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	l1 := mustLease(t, c, n1, 0) // [0,4), then the lease runs out
+	clk.Advance(5 * time.Second)
+	c.Heartbeat(&HeartbeatRequest{NodeID: n2})
+	clk.Advance(6 * time.Second) // TTL (10s) exceeded; indices back in pending
+	c.Sweep()
+
+	// The straggler delivers index 0 while it is still queued (not re-leased).
+	r0 := resultFor(0)
+	resp, err := c.Upload(&UploadRequest{
+		NodeID: n1, LeaseID: l1.ID, JobID: l1.JobID, Results: []ScenarioResult{r0},
+	})
+	if err != nil {
+		t.Fatalf("straggler upload: %v", err)
+	}
+	if resp.Accepted != 1 {
+		t.Fatalf("straggler body not accepted: %+v", resp)
+	}
+
+	// The next lease must cover only the three unresolved indices.
+	l2 := mustLease(t, c, n2, 0)
+	if l2.Start != 1 || l2.End != 4 {
+		t.Fatalf("re-dispatched lease covers [%d,%d), want [1,4)", l2.Start, l2.End)
+	}
+	if resp := uploadRange(t, c, n2, l2); resp.Accepted != 3 {
+		t.Fatalf("healthy upload: %+v, want 3 accepted", resp)
+	}
+	select {
+	case <-done:
+	default:
+		t.Fatal("job not complete after all four indices resolved")
+	}
+	out, _, err := c.Take(l1.JobID)
+	if err != nil {
+		t.Fatalf("take: %v", err)
+	}
+	if out.Completed != 4 || out.Failed != 0 {
+		t.Fatalf("completed=%d failed=%d, want 4/0", out.Completed, out.Failed)
+	}
+	// No further work may exist for the collected job.
+	if resp, err := c.Lease(&LeaseRequest{NodeID: n2}); err != nil || resp.Lease != nil {
+		t.Fatalf("collected job still leasable: %+v err %v", resp.Lease, err)
+	}
+}
+
+// TestStaleErrorDoesNotFailSlot: a scenario error is only trusted from the
+// lease that still owns the slot. A straggler's transient failure arriving
+// after expiry must not mark the slot failed — the healthy re-dispatch's
+// result wins regardless of interleaving.
+func TestStaleErrorDoesNotFailSlot(t *testing.T) {
+	clk := newFakeClock()
+	c := testCoordinator(t, clk, nil)
+	n1 := register(t, c, "flaky")
+	n2 := register(t, c, "healthy")
+	_, done, err := c.Submit(testBatch(2), "")
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	l1 := mustLease(t, c, n1, 0)
+	clk.Advance(5 * time.Second)
+	c.Heartbeat(&HeartbeatRequest{NodeID: n2})
+	clk.Advance(6 * time.Second)
+	l2 := mustLease(t, c, n2, 0) // re-dispatch of [0,2)
+
+	// The straggler reports a transient failure for the re-leased slots.
+	resp, err := c.Upload(&UploadRequest{
+		NodeID: n1, LeaseID: l1.ID, JobID: l1.JobID,
+		Results: []ScenarioResult{
+			{Index: 0, Error: "context deadline exceeded", Reason: "internal"},
+			{Index: 1, Error: "context deadline exceeded", Reason: "internal"},
+		},
+	})
+	if err != nil {
+		t.Fatalf("stale error upload: %v", err)
+	}
+	if resp.Accepted != 0 || resp.Duplicate != 2 {
+		t.Fatalf("stale errors not dropped: %+v", resp)
+	}
+	if st := c.Stats(); st.UploadsStale != 2 {
+		t.Fatalf("stale uploads not accounted: %+v", st)
+	}
+
+	// The healthy node's bodies land and the batch completes clean.
+	uploadRange(t, c, n2, l2)
+	select {
+	case <-done:
+	default:
+		t.Fatal("job not complete after healthy upload")
+	}
+	out, _, err := c.Take(l1.JobID)
+	if err != nil {
+		t.Fatalf("take: %v", err)
+	}
+	if out.Completed != 2 || out.Failed != 0 {
+		t.Fatalf("completed=%d failed=%d, want 2/0 (stale error leaked)", out.Completed, out.Failed)
+	}
+}
+
+// TestStaleSkipMarkerDoesNotDuplicatePendingIndex: a skip marker from an
+// expired lease whose cache entry vanished must not re-queue an index that is
+// already pending — the queue is a set, and a duplicate entry would hand the
+// same scenario to two leases.
+func TestStaleSkipMarkerDoesNotDuplicatePendingIndex(t *testing.T) {
+	clk := newFakeClock()
+	cache := newMemCache()
+	c := testCoordinator(t, clk, cache)
+	n1 := register(t, c, "slow")
+	n2 := register(t, c, "healthy")
+	_, done, err := c.Submit(testBatch(2), "")
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	l1 := mustLease(t, c, n1, 0)
+	clk.Advance(5 * time.Second)
+	c.Heartbeat(&HeartbeatRequest{NodeID: n2})
+	clk.Advance(6 * time.Second)
+	c.Sweep() // [0,2) back in pending
+
+	// Straggler skip markers with no cache entries behind them: dropped, not
+	// re-queued (the indices are already pending).
+	keys := make([]string, 2)
+	for i := range keys {
+		keys[i], _ = l1.Scenarios[i].CacheKey()
+	}
+	resp, err := c.Upload(&UploadRequest{
+		NodeID: n1, LeaseID: l1.ID, JobID: l1.JobID,
+		Results: []ScenarioResult{
+			{Index: 0, CacheKey: keys[0], Skipped: true},
+			{Index: 1, CacheKey: keys[1], Skipped: true},
+		},
+	})
+	if err != nil {
+		t.Fatalf("stale skip upload: %v", err)
+	}
+	if len(resp.Requeued) != 0 || resp.Duplicate != 2 {
+		t.Fatalf("stale skip markers: %+v, want 2 dropped and none requeued", resp)
+	}
+
+	// Exactly one lease covers the two indices; a second lease finds nothing.
+	l2 := mustLease(t, c, n2, 0)
+	if l2.Start != 0 || l2.End != 2 {
+		t.Fatalf("re-dispatched lease covers [%d,%d), want [0,2)", l2.Start, l2.End)
+	}
+	if resp, err := c.Lease(&LeaseRequest{NodeID: n2}); err != nil || resp.Lease != nil {
+		t.Fatalf("duplicate pending entry produced a second lease: %+v err %v", resp.Lease, err)
+	}
+	uploadRange(t, c, n2, l2)
+	select {
+	case <-done:
+	default:
+		t.Fatal("job not complete")
+	}
+}
+
+// TestCacheCheckKeyCapIsEnforced: an oversized cache check is a protocol
+// violation with a machine-readable reason, not a cheap way to hammer the
+// coordinator's result cache.
+func TestCacheCheckKeyCapIsEnforced(t *testing.T) {
+	c := testCoordinator(t, newFakeClock(), newMemCache())
+	n1 := register(t, c, "a")
+	keys := make([]string, MaxCacheCheckKeys+1)
+	_, err := c.CacheCheck(&CacheCheckRequest{NodeID: n1, Keys: keys})
+	if hetwire.ReasonCode(err) != hetwire.ReasonBadRequest {
+		t.Fatalf("oversized cache check: reason %q err %v", hetwire.ReasonCode(err), err)
+	}
+	if _, err := c.CacheCheck(&CacheCheckRequest{NodeID: n1, Keys: keys[:MaxCacheCheckKeys]}); err != nil {
+		t.Fatalf("at-cap cache check rejected: %v", err)
+	}
+}

@@ -12,7 +12,10 @@
 // bit-identical regardless of node count, lease size, which node ran which
 // range, or how lease expiry and re-dispatch interleaved. Duplicate uploads
 // — a straggler finishing after its lease was re-dispatched — are no-ops by
-// construction: the slot is already filled with the same bytes.
+// construction: the slot is already filled with the same bytes. Scenario
+// errors are not content-addressed, so they are only trusted from the lease
+// that still owns the slot; a straggler's stale error is dropped rather than
+// allowed to override a healthy re-dispatch.
 //
 // Robustness contract: leases carry deadlines; an expired lease returns its
 // unfinished indices to the pending queue for another node (straggler
@@ -86,7 +89,7 @@ type RegisterRequest struct {
 	Protocol int `json:"protocol"`
 	// CompatHash is the node's simulator-compatibility fingerprint; it must
 	// equal the coordinator's own (see CompatHash).
-	CompatHash string `json:"compat_hash"`
+	CompatHash string   `json:"compat_hash"`
 	Caps       NodeCaps `json:"caps"`
 }
 
@@ -137,8 +140,8 @@ type LeaseResponse struct {
 // the sweep axes) makes the node's view of the work independent of its own
 // expansion code.
 type Lease struct {
-	ID      string `json:"id"`
-	JobID   string `json:"job_id"`
+	ID    string `json:"id"`
+	JobID string `json:"job_id"`
 	// TraceID is the request-trace identifier of the originating batch job;
 	// the node stamps it into the simulation context and its lease events so
 	// one sweep can be followed coordinator -> node -> simulator.
@@ -154,8 +157,14 @@ type Lease struct {
 	TTLMS int64 `json:"ttl_ms"`
 }
 
+// MaxCacheCheckKeys bounds one CacheCheckRequest: each key costs a locked
+// cache lookup, and a node only ever needs one lease's worth of keys per
+// check, so a huge batch is a protocol violation rather than a workload.
+const MaxCacheCheckKeys = 4096
+
 // CacheCheckRequest asks the coordinator's federated result-cache index
-// which content-addressed keys are already known.
+// which content-addressed keys are already known. Len(Keys) must not exceed
+// MaxCacheCheckKeys; split larger checks.
 type CacheCheckRequest struct {
 	NodeID string   `json:"node_id"`
 	Keys   []string `json:"keys"`

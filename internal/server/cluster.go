@@ -70,11 +70,19 @@ func (s *Server) clusterAuth(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// decodeCluster reads a cluster protocol body with a size bound: protocol
-// messages are small, and a coordinator must not buffer arbitrary uploads
-// from a compromised node (simulation result bodies are KBs, not MBs).
-func decodeCluster(w http.ResponseWriter, r *http.Request, v any) bool {
-	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+// Body size bounds for cluster protocol requests: a coordinator must not
+// buffer arbitrary bytes from a compromised node. Control messages
+// (register, heartbeat, lease, cachecheck) are at most a lease's worth of
+// cache keys; uploads carry simulation result bodies — KBs each, a lease's
+// worth per request — so they get a larger but still bounded cap.
+const (
+	clusterControlBodyLimit = 1 << 20
+	clusterUploadBodyLimit  = 16 << 20
+)
+
+// decodeCluster reads a cluster protocol body within the given size bound.
+func decodeCluster(w http.ResponseWriter, r *http.Request, v any, limit int64) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit))
 	if err == nil {
 		err = json.Unmarshal(body, v)
 	}
@@ -103,7 +111,7 @@ func clusterError(w http.ResponseWriter, err error) {
 
 func (s *Server) handleClusterRegister(w http.ResponseWriter, r *http.Request) {
 	var req cluster.RegisterRequest
-	if !decodeCluster(w, r, &req) {
+	if !decodeCluster(w, r, &req, clusterControlBodyLimit) {
 		return
 	}
 	resp, err := s.coord.Register(&req)
@@ -116,7 +124,7 @@ func (s *Server) handleClusterRegister(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) {
 	var req cluster.HeartbeatRequest
-	if !decodeCluster(w, r, &req) {
+	if !decodeCluster(w, r, &req, clusterControlBodyLimit) {
 		return
 	}
 	writeJSON(w, s.coord.Heartbeat(&req))
@@ -124,7 +132,7 @@ func (s *Server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) 
 
 func (s *Server) handleClusterLease(w http.ResponseWriter, r *http.Request) {
 	var req cluster.LeaseRequest
-	if !decodeCluster(w, r, &req) {
+	if !decodeCluster(w, r, &req, clusterControlBodyLimit) {
 		return
 	}
 	resp, err := s.coord.Lease(&req)
@@ -137,7 +145,7 @@ func (s *Server) handleClusterLease(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleClusterCacheCheck(w http.ResponseWriter, r *http.Request) {
 	var req cluster.CacheCheckRequest
-	if !decodeCluster(w, r, &req) {
+	if !decodeCluster(w, r, &req, clusterControlBodyLimit) {
 		return
 	}
 	resp, err := s.coord.CacheCheck(&req)
@@ -150,7 +158,7 @@ func (s *Server) handleClusterCacheCheck(w http.ResponseWriter, r *http.Request)
 
 func (s *Server) handleClusterUpload(w http.ResponseWriter, r *http.Request) {
 	var req cluster.UploadRequest
-	if !decodeCluster(w, r, &req) {
+	if !decodeCluster(w, r, &req, clusterUploadBodyLimit) {
 		return
 	}
 	resp, err := s.coord.Upload(&req)
@@ -237,6 +245,7 @@ func (m *Metrics) renderCluster(w io.Writer) {
 	fmt.Fprintf(w, "# HELP hetwired_cluster_uploads_total Node uploads by outcome.\n# TYPE hetwired_cluster_uploads_total counter\n")
 	fmt.Fprintf(w, "hetwired_cluster_uploads_total{result=\"accepted\"} %d\n", cs.UploadsAccepted)
 	fmt.Fprintf(w, "hetwired_cluster_uploads_total{result=\"duplicate\"} %d\n", cs.UploadsDuplicate)
+	fmt.Fprintf(w, "hetwired_cluster_uploads_total{result=\"stale\"} %d\n", cs.UploadsStale)
 	fmt.Fprintf(w, "hetwired_cluster_uploads_total{result=\"conflict\"} %d\n", cs.UploadConflicts)
 	counter("hetwired_cluster_federated_cache_hits_total", "Scenarios answered by the federated result cache instead of a node simulation.", cs.FederatedHits)
 	fmt.Fprintf(w, "# HELP hetwired_cluster_jobs_total Cluster jobs by lifecycle event.\n# TYPE hetwired_cluster_jobs_total counter\n")
