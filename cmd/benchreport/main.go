@@ -26,6 +26,7 @@ import (
 
 	"hetwire"
 	"hetwire/internal/config"
+	"hetwire/internal/wire"
 )
 
 // Scenario identifies one measured configuration.
@@ -65,6 +66,21 @@ type Report struct {
 	// the same scenario matrix executed at several worker counts, with
 	// speedup relative to the sequential run.
 	BatchThroughput *BatchThroughput `json:"batch_throughput,omitempty"`
+	// Wire measures the hetwire-bin/v1 result path: frame encode/decode
+	// throughput and the zero-copy cache-hit serve cost.
+	Wire *WireCost `json:"wire,omitempty"`
+}
+
+// WireCost is the binary result-path cost readout, taken on a real frame
+// (one simulated RunResponse). CacheHitServeNsPerOp is what the daemon pays
+// to serve one stored frame — a header peek plus one buffer copy, never a
+// payload decode.
+type WireCost struct {
+	Scenario
+	FrameBytes           int     `json:"frame_bytes"`
+	EncodeMBPerSec       float64 `json:"encode_mb_per_sec"`
+	DecodeMBPerSec       float64 `json:"decode_mb_per_sec"`
+	CacheHitServeNsPerOp float64 `json:"cache_hit_serve_ns_per_op"`
 }
 
 // BatchRow is one worker count's measurement of the batch matrix.
@@ -262,6 +278,59 @@ func measureBatch(count uint64) (*BatchThroughput, error) {
 	return bt, nil
 }
 
+// measureWire simulates one scenario, then times the binary result path on
+// its frame: encode throughput, decode throughput, and the cache-hit serve
+// operation (PeekHeader + copy, exactly the daemon's hit path).
+func measureWire(count uint64) (*WireCost, error) {
+	sc := Scenario{Model: "V", Topology: "crossbar4", Benchmark: "gcc", N: count}
+	req := &hetwire.RunRequest{Benchmark: sc.Benchmark, Model: sc.Model, N: sc.N}
+	resp, err := req.Execute()
+	if err != nil {
+		return nil, err
+	}
+	frame, err := wire.EncodeRunResult(resp)
+	if err != nil {
+		return nil, err
+	}
+
+	const iters = 50_000
+	runtime.GC()
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := wire.EncodeRunResult(resp); err != nil {
+			return nil, err
+		}
+	}
+	encElapsed := time.Since(start)
+
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := wire.DecodeRunResult(frame); err != nil {
+			return nil, err
+		}
+	}
+	decElapsed := time.Since(start)
+
+	dst := make([]byte, len(frame))
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := wire.PeekHeader(frame); err != nil {
+			return nil, err
+		}
+		copy(dst, frame)
+	}
+	serveElapsed := time.Since(start)
+
+	mb := float64(len(frame)) * iters / (1 << 20)
+	return &WireCost{
+		Scenario:             sc,
+		FrameBytes:           len(frame),
+		EncodeMBPerSec:       mb / encElapsed.Seconds(),
+		DecodeMBPerSec:       mb / decElapsed.Seconds(),
+		CacheHitServeNsPerOp: float64(serveElapsed.Nanoseconds()) / iters,
+	}, nil
+}
+
 func main() {
 	var (
 		out   = flag.String("out", "BENCH_hetwire.json", "output file ('-' for stdout)")
@@ -320,6 +389,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "batch matrix %d scenarios n=%-7d workers=%-2d %8.0f ms %6.2f scen/s speedup %.2fx\n",
 			bt.Scenarios, bt.N, row.Workers, row.WallMS, row.ScenariosPerSec, row.Speedup)
 	}
+
+	wc, err := measureWire(count)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: wire cost: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Wire = wc
+	fmt.Fprintf(os.Stderr, "wire frame %d B encode %7.1f MB/s decode %7.1f MB/s cache-hit serve %6.1f ns/op\n",
+		wc.FrameBytes, wc.EncodeMBPerSec, wc.DecodeMBPerSec, wc.CacheHitServeNsPerOp)
 
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

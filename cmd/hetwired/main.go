@@ -74,6 +74,7 @@ func serve(args []string) {
 		addr       = fs.String("addr", "127.0.0.1:8677", "listen address (host:port; port 0 picks a free port)")
 		workers    = fs.Int("workers", 4, "simulation worker-pool size")
 		queueDepth = fs.Int("queue", 64, "job queue depth (submissions beyond it get 429 + Retry-After)")
+		retryAfter = fs.Duration("retry-after", 0, "Retry-After hint on 429 before any job has completed (0 = server default)")
 		cacheMB    = fs.Int64("cache-mb", 64, "result-cache budget in MiB")
 		deadline   = fs.Duration("deadline", 2*time.Minute, "default per-job wall-clock deadline (0 keeps the server default)")
 		maxDL      = fs.Duration("max-deadline", 10*time.Minute, "cap on per-request deadline overrides")
@@ -119,14 +120,15 @@ func serve(args []string) {
 		}
 	}
 	srv := server.New(server.Options{
-		Workers:         *workers,
-		QueueDepth:      *queueDepth,
-		CacheBytes:      *cacheMB << 20,
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDL,
-		Faults:          injector,
-		Logger:          reqLogger,
-		Cluster:         clusterOpts,
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		DefaultRetryAfter: *retryAfter,
+		CacheBytes:        *cacheMB << 20,
+		DefaultDeadline:   *deadline,
+		MaxDeadline:       *maxDL,
+		Faults:            injector,
+		Logger:            reqLogger,
+		Cluster:           clusterOpts,
 	})
 	srv.Metrics().SetBuildInfo(buildVersion(), runtime.Version())
 

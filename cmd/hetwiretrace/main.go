@@ -15,6 +15,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
@@ -24,6 +25,7 @@ import (
 
 	"hetwire"
 	"hetwire/internal/obs"
+	"hetwire/internal/wire"
 )
 
 func main() {
@@ -57,7 +59,7 @@ func main() {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  hetwiretrace record  -benchmark B [-model M] [-clusters C] [-n N] [-o FILE]
+  hetwiretrace record  -benchmark B [-model M] [-clusters C] [-n N] [-o FILE] [-binary]
   hetwiretrace summary [-json] FILE
   hetwiretrace diff    [-json] [-top K] FILE_A FILE_B
   hetwiretrace timeline [-width W] FILE
@@ -72,6 +74,7 @@ func cmdRecord(args []string) error {
 		clusters  = fs.Int("clusters", 0, "cluster count override (4 or 16)")
 		n         = fs.Uint64("n", 100_000, "instruction budget")
 		out       = fs.String("o", "-", "trace output file ('-' for stdout)")
+		binary    = fs.Bool("binary", false, "write the trace in the hetwire-bin/v1 frame container instead of raw JSONL")
 	)
 	fs.Parse(args)
 	if *benchmark == "" {
@@ -86,6 +89,11 @@ func cmdRecord(args []string) error {
 		defer f.Close()
 		w = f
 	}
+	if *binary {
+		tw := wire.NewTraceWriter(w)
+		defer tw.Close()
+		w = tw
+	}
 	req := &hetwire.RunRequest{Benchmark: *benchmark, Model: *model, Clusters: *clusters, N: *n}
 	resp, err := req.ExecuteProbed(context.Background(), w)
 	if err != nil {
@@ -96,13 +104,21 @@ func cmdRecord(args []string) error {
 	return nil
 }
 
+// readTraceFile loads a trace in either encoding: the file is sniffed for
+// the binary frame magic, and binary containers are unwrapped back into the
+// JSONL stream obs.ReadTrace expects. The JSONL lines inside a container are
+// byte-identical to a raw recording, so both formats summarise identically.
 func readTraceFile(path string) (obs.Header, []obs.Sample, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return obs.Header{}, nil, err
 	}
 	defer f.Close()
-	return obs.ReadTrace(f)
+	br := bufio.NewReader(f)
+	if magic, err := br.Peek(4); err == nil && wire.IsWire(magic) {
+		return obs.ReadTrace(wire.NewTraceReader(br))
+	}
+	return obs.ReadTrace(br)
 }
 
 func summarizeFile(path string) (obs.Summary, error) {

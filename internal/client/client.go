@@ -13,17 +13,21 @@ package client
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"hetwire"
 	"hetwire/internal/server"
+	"hetwire/internal/wire"
 	"hetwire/internal/xrand"
 )
 
@@ -164,21 +168,40 @@ func (c *Client) SubmitRun(ctx context.Context, req *hetwire.RunRequest, deadlin
 		return server.JobStatus{}, err
 	}
 	var st server.JobStatus
-	err = c.do(ctx, http.MethodPost, "/v1/jobs", raw, "run-"+key, &st)
+	err = c.do(ctx, &apiCall{method: http.MethodPost, path: "/v1/jobs", body: raw, idemKey: "run-" + key}, &st)
+	return st, err
+}
+
+// SubmitBatch submits a batch job, keyed by the content hash of the
+// submission body so retries (ours or a caller's) land on the job the first
+// attempt created.
+func (c *Client) SubmitBatch(ctx context.Context, batch *hetwire.BatchRequest, deadlineMS int64) (server.JobStatus, error) {
+	body := struct {
+		Batch      *hetwire.BatchRequest `json:"batch"`
+		DeadlineMS int64                 `json:"deadline_ms,omitempty"`
+	}{Batch: batch, DeadlineMS: deadlineMS}
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	sum := sha256.Sum256(raw)
+	var st server.JobStatus
+	err = c.do(ctx, &apiCall{method: http.MethodPost, path: "/v1/jobs", body: raw,
+		idemKey: "batch-" + hex.EncodeToString(sum[:])}, &st)
 	return st, err
 }
 
 // Job polls one job's status.
 func (c *Client) Job(ctx context.Context, id string) (server.JobStatus, error) {
 	var st server.JobStatus
-	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, "", &st)
+	err := c.do(ctx, &apiCall{method: http.MethodGet, path: "/v1/jobs/" + id}, &st)
 	return st, err
 }
 
 // Cancel cancels a queued or running job (idempotent by nature).
 func (c *Client) Cancel(ctx context.Context, id string) (server.JobStatus, error) {
 	var st server.JobStatus
-	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, "", &st)
+	err := c.do(ctx, &apiCall{method: http.MethodDelete, path: "/v1/jobs/" + id}, &st)
 	return st, err
 }
 
@@ -223,6 +246,129 @@ func (c *Client) Run(ctx context.Context, req *hetwire.RunRequest, deadlineMS in
 	return &resp, st, nil
 }
 
+// RunWire performs a synchronous run negotiating the binary wire format:
+// POST /v1/run with Accept: application/x-hetwire-bin. A daemon that speaks
+// the format answers with the stored result frame; a daemon that does not
+// ignores the Accept header and answers JSON, detected here by content type
+// — the fallback costs only the decode. The bool result reports whether the
+// daemon served the run from its cache.
+func (c *Client) RunWire(ctx context.Context, req *hetwire.RunRequest) (*hetwire.RunResponse, bool, error) {
+	key, err := req.CacheKey()
+	if err != nil {
+		return nil, false, err
+	}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return nil, false, err
+	}
+	var rr rawResponse
+	if err := c.do(ctx, &apiCall{
+		method: http.MethodPost, path: "/v1/run", body: raw,
+		accept: wire.ContentType, idemKey: "run-" + key,
+	}, &rr); err != nil {
+		return nil, false, err
+	}
+	hit := rr.cacheHeader == "hit"
+	if strings.HasPrefix(rr.contentType, wire.ContentType) || wire.IsWire(rr.body) {
+		resp, err := wire.DecodeRunResult(rr.body)
+		return resp, hit, err
+	}
+	var resp hetwire.RunResponse
+	if err := json.Unmarshal(rr.body, &resp); err != nil {
+		return nil, hit, fmt.Errorf("client: decoding run response: %w", err)
+	}
+	return &resp, hit, nil
+}
+
+// StreamBatch consumes a batch job's binary stream (GET /v1/jobs/{id}/stream),
+// invoking fn for each scenario frame as it arrives — in canonical index
+// order, before the job has finished — and returning the trailer. Streaming
+// is a single attempt by nature (frames already consumed cannot be
+// replayed); callers wanting retry semantics should fall back to Await and
+// the job result.
+func (c *Client) StreamBatch(ctx context.Context, jobID string, fn func(*wire.Scenario) error) (*wire.BatchTrailer, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.opts.BaseURL+"/v1/jobs/"+jobID+"/stream", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", wire.ContentType)
+	if c.opts.AuthToken != "" {
+		req.Header.Set("Authorization", "Bearer "+c.opts.AuthToken)
+	}
+	req.Header.Set(server.TraceHeader, c.opts.TraceID)
+	resp, err := c.opts.HTTPClient.Do(req)
+	if err != nil {
+		c.breakerRecord(false)
+		return nil, fmt.Errorf("client: streaming job %s: %w", jobID, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		c.breakerRecord(true) // the daemon answered; the job is just not streamable
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var msg struct {
+			Error  string `json:"error"`
+			Reason string `json:"reason"`
+		}
+		_ = json.Unmarshal(raw, &msg)
+		if msg.Error == "" {
+			msg.Error = string(raw)
+		}
+		return nil, &APIError{Status: resp.StatusCode, Message: msg.Error, Reason: msg.Reason}
+	}
+	c.breakerRecord(true)
+	rd := wire.NewReader(resp.Body)
+	var total, seen int
+	sawHeader := false
+	for {
+		h, frame, err := rd.Next()
+		if err == io.EOF {
+			return nil, fmt.Errorf("client: job %s stream ended without a trailer", jobID)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("client: job %s stream: %w", jobID, err)
+		}
+		switch h.Type {
+		case wire.TypeBatchHeader:
+			if sawHeader {
+				return nil, fmt.Errorf("client: job %s stream repeated its header", jobID)
+			}
+			sawHeader = true
+			if total, err = wire.DecodeBatchHeader(frame); err != nil {
+				return nil, err
+			}
+		case wire.TypeScenario:
+			if !sawHeader {
+				return nil, fmt.Errorf("client: job %s stream began mid-batch", jobID)
+			}
+			sc, err := wire.DecodeScenario(frame)
+			if err != nil {
+				return nil, err
+			}
+			if sc.Index != seen {
+				return nil, fmt.Errorf("client: job %s stream scenario %d arrived where %d was expected",
+					jobID, sc.Index, seen)
+			}
+			seen++
+			if fn != nil {
+				if err := fn(sc); err != nil {
+					return nil, err
+				}
+			}
+		case wire.TypeBatchTrailer:
+			tr, err := wire.DecodeBatchTrailer(frame)
+			if err != nil {
+				return nil, err
+			}
+			if !sawHeader || seen != total || tr.Total != total {
+				return nil, fmt.Errorf("client: job %s stream delivered %d of %d scenarios", jobID, seen, total)
+			}
+			return &tr, nil
+		default:
+			return nil, fmt.Errorf("client: job %s stream carried unexpected frame type %#02x", jobID, h.Type)
+		}
+	}
+}
+
 // DoJSON performs one authenticated API operation under the client's full
 // fault-tolerance policy — retries with jittered exponential backoff,
 // Retry-After honoring, and the circuit breaker. body, when non-nil, is
@@ -241,15 +387,45 @@ func (c *Client) DoJSON(ctx context.Context, method, path string, body any, idem
 			return fmt.Errorf("client: encoding %s %s body: %w", method, path, err)
 		}
 	}
-	return c.do(ctx, method, path, raw, idemKey, out)
+	return c.do(ctx, &apiCall{method: method, path: path, body: raw, idemKey: idemKey}, out)
+}
+
+// DoBytes is DoJSON for pre-encoded request bodies: the bytes are sent
+// verbatim under the given content type (e.g. a binary wire upload), with
+// the same retry, backoff, and breaker policy.
+func (c *Client) DoBytes(ctx context.Context, method, path, contentType string, body []byte, idemKey string, out any) error {
+	return c.do(ctx, &apiCall{method: method, path: path, body: body, ctype: contentType, idemKey: idemKey}, out)
+}
+
+// apiCall describes one HTTP operation for the retry loop.
+type apiCall struct {
+	method string
+	path   string
+	body   []byte
+	// ctype is the request Content-Type; empty defaults to application/json
+	// when a body is present.
+	ctype string
+	// accept, when set, negotiates the response encoding (the binary wire
+	// format); pair it with a *rawResponse out so the undecoded body and its
+	// content type reach the caller.
+	accept  string
+	idemKey string
+}
+
+// rawResponse receives an undecoded response body plus the headers content
+// negotiation turns on. Pass it as `out` to skip the JSON decode.
+type rawResponse struct {
+	body        []byte
+	contentType string
+	cacheHeader string // X-Hetwired-Cache: hit|miss
 }
 
 // do performs one API operation with retries, backoff, Retry-After, and the
 // circuit breaker. Only idempotent operations retry: GET and DELETE always
 // are; a POST is retried only when idemKey is non-empty (the daemon then
 // deduplicates replays).
-func (c *Client) do(ctx context.Context, method, path string, body []byte, idemKey string, out any) error {
-	retryable := method == http.MethodGet || method == http.MethodDelete || idemKey != ""
+func (c *Client) do(ctx context.Context, call *apiCall, out any) error {
+	retryable := call.method == http.MethodGet || call.method == http.MethodDelete || call.idemKey != ""
 	var lastErr error
 	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -258,7 +434,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, idemK
 		if err := c.breakerAllow(); err != nil {
 			return err
 		}
-		retryAfter, err := c.once(ctx, method, path, body, idemKey, out)
+		retryAfter, err := c.once(ctx, call, out)
 		if err == nil {
 			return nil
 		}
@@ -283,20 +459,27 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, idemK
 
 // once performs a single HTTP attempt, classifying the outcome for the
 // breaker and extracting any Retry-After hint.
-func (c *Client) once(ctx context.Context, method, path string, body []byte, idemKey string, out any) (retryAfter time.Duration, err error) {
+func (c *Client) once(ctx context.Context, call *apiCall, out any) (retryAfter time.Duration, err error) {
 	var rd io.Reader
-	if body != nil {
-		rd = bytes.NewReader(body)
+	if call.body != nil {
+		rd = bytes.NewReader(call.body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.opts.BaseURL+path, rd)
+	req, err := http.NewRequestWithContext(ctx, call.method, c.opts.BaseURL+call.path, rd)
 	if err != nil {
 		return 0, err
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+	if call.body != nil {
+		ct := call.ctype
+		if ct == "" {
+			ct = "application/json"
+		}
+		req.Header.Set("Content-Type", ct)
 	}
-	if idemKey != "" {
-		req.Header.Set("Idempotency-Key", idemKey)
+	if call.accept != "" {
+		req.Header.Set("Accept", call.accept)
+	}
+	if call.idemKey != "" {
+		req.Header.Set("Idempotency-Key", call.idemKey)
 	}
 	if c.opts.AuthToken != "" {
 		req.Header.Set("Authorization", "Bearer "+c.opts.AuthToken)
@@ -305,13 +488,13 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, ide
 	resp, err := c.opts.HTTPClient.Do(req)
 	if err != nil {
 		c.breakerRecord(false)
-		return 0, fmt.Errorf("client: %s %s: %w", method, path, err)
+		return 0, fmt.Errorf("client: %s %s: %w", call.method, call.path, err)
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
 		c.breakerRecord(false)
-		return 0, fmt.Errorf("client: reading %s %s response: %w", method, path, err)
+		return 0, fmt.Errorf("client: reading %s %s response: %w", call.method, call.path, err)
 	}
 	if resp.StatusCode >= 400 {
 		// 429 is the daemon shedding load, not the daemon being broken: it
@@ -336,9 +519,15 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, ide
 		return retryAfter, &APIError{Status: resp.StatusCode, Message: msg.Error, Reason: msg.Reason}
 	}
 	c.breakerRecord(true)
-	if out != nil {
+	switch o := out.(type) {
+	case nil:
+	case *rawResponse:
+		o.body = raw
+		o.contentType = resp.Header.Get("Content-Type")
+		o.cacheHeader = resp.Header.Get("X-Hetwired-Cache")
+	default:
 		if err := json.Unmarshal(raw, out); err != nil {
-			return 0, fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+			return 0, fmt.Errorf("client: decoding %s %s response: %w", call.method, call.path, err)
 		}
 	}
 	return 0, nil

@@ -125,7 +125,7 @@ func TestNonIdempotentPostNotRetried(t *testing.T) {
 	defer ts.Close()
 
 	c, _ := newFastClient(t, ts.URL, Options{})
-	err := c.do(context.Background(), http.MethodPost, "/v1/x", []byte(`{}`), "", nil)
+	err := c.do(context.Background(), &apiCall{method: http.MethodPost, path: "/v1/x", body: []byte(`{}`)}, nil)
 	var apiErr *APIError
 	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
 		t.Fatalf("err = %v, want APIError{503}", err)

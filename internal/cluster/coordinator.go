@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"hetwire"
+	"hetwire/internal/wire"
 )
 
 // Options configures a Coordinator.
@@ -228,6 +229,7 @@ func (c *Coordinator) Register(req *RegisterRequest) (*RegisterResponse, error) 
 		HeartbeatMS: c.opts.Heartbeat.Milliseconds(),
 		LeaseTTLMS:  c.opts.LeaseTTL.Milliseconds(),
 		PollMS:      c.opts.Poll.Milliseconds(),
+		WireFormats: []string{wire.Format},
 	}, nil
 }
 
@@ -385,6 +387,14 @@ func (c *Coordinator) Upload(req *UploadRequest) (*UploadResponse, error) {
 			return nil, reqErr(hetwire.ReasonBadRequest,
 				"result index %d out of range for job %s (%d scenarios)", r.Index, j.id, len(j.slots))
 		}
+		// Normalise the result to its canonical wire frame before any
+		// comparison or store: the slot table, the federated cache, and the
+		// idempotency sums all speak frames, so a JSON straggler and a binary
+		// re-dispatch of the same scenario collide on identical bytes.
+		frame, err := resultFrame(r)
+		if err != nil {
+			return nil, err
+		}
 		sl := &j.slots[r.Index]
 		// A straggler result can land while its index sits in the pending
 		// queue (lease expired, index not yet re-leased). Accepting it must
@@ -400,7 +410,7 @@ func (c *Coordinator) Upload(req *UploadRequest) (*UploadResponse, error) {
 		switch {
 		case sl.state == slotDone || sl.state == slotFailed || sl.state == slotCancelled:
 			// Straggler after re-dispatch: verify the duplicate agrees.
-			if len(r.Body) > 0 && sl.state == slotDone && BodySum(r.Body) != sl.sum {
+			if len(frame) > 0 && sl.state == slotDone && BodySum(frame) != sl.sum {
 				c.stats.UploadConflicts++
 				c.opts.Logger.Printf("cluster upload CONFLICT job=%s index=%d node=%s (first result kept)",
 					j.id, r.Index, n.id)
@@ -429,6 +439,12 @@ func (c *Coordinator) Upload(req *UploadRequest) (*UploadResponse, error) {
 			// stale skip marker's slot is already pending or owned by another
 			// live lease, and queueing it again would duplicate the index.
 			body, ok := c.cacheGet(sl.key)
+			if ok && wire.ValidateResultFrame(body) != nil {
+				// The cached entry is not a valid result frame (corrupt, or a
+				// foreign value under our key): treat it as evicted rather
+				// than let bad bytes into the slot table.
+				ok = false
+			}
 			if !ok {
 				if owned(r.Index) {
 					sl.state = slotPending
@@ -450,16 +466,12 @@ func (c *Coordinator) Upload(req *UploadRequest) (*UploadResponse, error) {
 			c.stats.FederatedHits++
 			c.stats.UploadsAccepted++
 			resp.Accepted++
-		case len(r.Body) == 0:
+		case len(frame) == 0:
 			return nil, reqErr(hetwire.ReasonBadRequest,
 				"result index %d carries neither body, error, nor skip marker", r.Index)
 		default:
-			if r.BodySHA256 != "" && BodySum(r.Body) != r.BodySHA256 {
-				return nil, reqErr(hetwire.ReasonBadRequest,
-					"result index %d body does not match its declared sha256 (corrupt upload)", r.Index)
-			}
 			sl.state = slotDone
-			sl.body = append([]byte(nil), r.Body...)
+			sl.body = append([]byte(nil), frame...)
 			sl.sum = BodySum(sl.body)
 			sl.node = n.id
 			settle()
@@ -484,6 +496,32 @@ func (c *Coordinator) Upload(req *UploadRequest) (*UploadResponse, error) {
 		resp.JobDone = true
 	}
 	return resp, nil
+}
+
+// resultFrame converts one uploaded result to its canonical wire frame. A
+// binary upload's frame is validated (CRC, strict payload decode, summary
+// agreement) and used as-is; a JSON body is verified against its declared
+// sha256 (transport integrity for the debug encoding) and re-encoded
+// canonically. Error and skip markers carry no frame and yield nil.
+func resultFrame(r *ScenarioResult) ([]byte, error) {
+	if len(r.Frame) > 0 {
+		if err := wire.ValidateResultFrame(r.Frame); err != nil {
+			return nil, reqErr(hetwire.ReasonBadRequest, "result index %d frame rejected: %v", r.Index, err)
+		}
+		return r.Frame, nil
+	}
+	if len(r.Body) == 0 {
+		return nil, nil
+	}
+	if r.BodySHA256 != "" && BodySum(r.Body) != r.BodySHA256 {
+		return nil, reqErr(hetwire.ReasonBadRequest,
+			"result index %d body does not match its declared sha256 (corrupt upload)", r.Index)
+	}
+	var resp hetwire.RunResponse
+	if err := json.Unmarshal(r.Body, &resp); err != nil {
+		return nil, reqErr(hetwire.ReasonBadRequest, "result index %d body is not a run response: %v", r.Index, err)
+	}
+	return wire.EncodeRunResult(&resp)
 }
 
 // cacheGet reads the federated cache. Called with c.mu held; the cache has
@@ -567,24 +605,32 @@ func (c *Coordinator) completeLocked(j *jobState) {
 	close(j.done)
 }
 
+// takeJob removes a job record from the coordinator and returns it.
+func (c *Coordinator) takeJob(jobID string) (*jobState, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[jobID]
+	if !ok {
+		return nil, false
+	}
+	delete(c.jobs, jobID)
+	for i, id := range c.jobOrder {
+		if id == jobID {
+			c.jobOrder = append(c.jobOrder[:i], c.jobOrder[i+1:]...)
+			break
+		}
+	}
+	return j, true
+}
+
 // Take collects a finished (or cancelled) job's merged response and removes
 // the job from the coordinator. Scenario results land at their expansion
 // index; node identity is an execution detail and does not appear in the
 // response, which is what makes the cluster path bit-compatible with local
-// batch execution.
+// batch execution. This is the decoded (debug) view; the serving path uses
+// TakeFrames, which never decodes a result.
 func (c *Coordinator) Take(jobID string) (*hetwire.BatchResponse, map[string]float64, error) {
-	c.mu.Lock()
-	j, ok := c.jobs[jobID]
-	if ok {
-		delete(c.jobs, jobID)
-		for i, id := range c.jobOrder {
-			if id == jobID {
-				c.jobOrder = append(c.jobOrder[:i], c.jobOrder[i+1:]...)
-				break
-			}
-		}
-	}
-	c.mu.Unlock()
+	j, ok := c.takeJob(jobID)
 	if !ok {
 		return nil, nil, reqErr(hetwire.ReasonBadRequest, "unknown cluster job %q", jobID)
 	}
@@ -596,11 +642,11 @@ func (c *Coordinator) Take(jobID string) (*hetwire.BatchResponse, map[string]flo
 		sc.Request = sl.req
 		switch sl.state {
 		case slotDone:
-			var resp hetwire.RunResponse
-			if err := json.Unmarshal(sl.body, &resp); err != nil {
+			resp, err := wire.DecodeRunResult(sl.body)
+			if err != nil {
 				return nil, nil, fmt.Errorf("cluster: decoding scenario %d result: %w", i, err)
 			}
-			sc.Response = &resp
+			sc.Response = resp
 			sc.Cached = sl.cached
 			if sl.cached {
 				out.CacheHits++
@@ -620,6 +666,61 @@ func (c *Coordinator) Take(jobID string) (*hetwire.BatchResponse, map[string]flo
 		}
 	}
 	return out, j.spanDur, nil
+}
+
+// FrameOutcome summarises one scenario's terminal state for progress
+// reporting next to its wire frame, derived from the slot table and the
+// frame header alone — no result payload is decoded.
+type FrameOutcome struct {
+	IPC    float64
+	Cached bool
+	Error  string
+}
+
+// TakeFrames collects a finished (or cancelled) job as per-scenario wire
+// frames and removes the job from the coordinator. Recorded result frames
+// are embedded verbatim — this path never decodes a result — so the batch
+// stream assembled from these frames is bit-identical to local batch
+// execution. Frames come back in expansion order with one outcome summary
+// each, plus the node-reported span durations.
+func (c *Coordinator) TakeFrames(jobID string) ([][]byte, []FrameOutcome, map[string]float64, error) {
+	j, ok := c.takeJob(jobID)
+	if !ok {
+		return nil, nil, nil, reqErr(hetwire.ReasonBadRequest, "unknown cluster job %q", jobID)
+	}
+	frames := make([][]byte, len(j.slots))
+	outcomes := make([]FrameOutcome, len(j.slots))
+	for i := range j.slots {
+		sl := &j.slots[i]
+		sc := &wire.Scenario{Index: i, Request: sl.req}
+		switch sl.state {
+		case slotDone:
+			h, err := wire.PeekHeader(sl.body)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("cluster: scenario %d result frame: %w", i, err)
+			}
+			sc.Result = sl.body
+			sc.Cached = sl.cached
+			outcomes[i] = FrameOutcome{IPC: h.SummaryFloat(), Cached: sl.cached}
+		case slotFailed:
+			sc.Error = sl.errMsg
+			sc.Reason = sl.reason
+			if sc.Reason == "" {
+				sc.Reason = hetwire.ReasonInvalidRequest
+			}
+			outcomes[i] = FrameOutcome{Error: sc.Error}
+		default: // cancelled (or, impossibly, still open)
+			sc.Error = "cancelled"
+			sc.Reason = "cancelled"
+			outcomes[i] = FrameOutcome{Error: "cancelled"}
+		}
+		fr, err := wire.AppendScenario(nil, sc)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("cluster: encoding scenario %d frame: %w", i, err)
+		}
+		frames[i] = fr
+	}
+	return frames, outcomes, j.spanDur, nil
 }
 
 // AwaitJob blocks until the job completes, ctx ends, or — because lease

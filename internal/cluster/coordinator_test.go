@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"hetwire"
+	"hetwire/internal/wire"
 )
 
 // fakeClock drives the coordinator deterministically: tests advance it past
@@ -102,9 +103,11 @@ func testBatch(scenarios int) *hetwire.BatchRequest {
 	}
 }
 
-// resultFor fabricates a deterministic upload body for an index.
+// resultFor fabricates a deterministic upload body for an index. The IPC
+// varies by index so distinct scenarios stay distinct after the coordinator
+// canonicalises bodies into wire frames.
 func resultFor(idx int) ScenarioResult {
-	body, _ := json.Marshal(map[string]any{"ipc": 1.0, "index": idx})
+	body, _ := json.Marshal(map[string]any{"ipc": 1.0 + float64(idx)})
 	return ScenarioResult{Index: idx, Body: body, BodySHA256: BodySum(body)}
 }
 
@@ -302,8 +305,12 @@ func TestFederatedCacheFillsSkippedSlots(t *testing.T) {
 		}
 	}
 
-	// Pre-load index 1's result, as if another sweep had computed it.
-	body1, _ := json.Marshal(map[string]any{"ipc": 2.0})
+	// Pre-load index 1's result, as if another sweep had computed it. The
+	// federated store holds wire frames, so the preload must be one too.
+	body1, err := wire.EncodeRunResult(&hetwire.RunResponse{IPC: 2})
+	if err != nil {
+		t.Fatalf("encoding preload frame: %v", err)
+	}
 	cache.Put(keys[1], body1)
 	chk, _ = c.CacheCheck(&CacheCheckRequest{NodeID: n1, Keys: keys})
 	if chk.Known[0] || !chk.Known[1] {

@@ -28,6 +28,7 @@ import (
 	"hetwire/internal/client"
 	"hetwire/internal/cluster"
 	"hetwire/internal/obs"
+	"hetwire/internal/wire"
 )
 
 // Options configures a node agent.
@@ -82,6 +83,10 @@ type agent struct {
 	hbEvery time.Duration
 	poll    time.Duration
 	needReg bool // heartbeat saw Known=false: re-register before next lease
+	// wireOK records that the coordinator advertised the binary wire format
+	// at registration: results are then encoded as wire frames and uploads go
+	// out binary; otherwise the JSON upload body is used.
+	wireOK bool
 }
 
 // Run operates one node against the coordinator until ctx ends. It returns
@@ -164,14 +169,28 @@ func (a *agent) register(ctx context.Context) error {
 	if err := a.cl.DoJSON(ctx, http.MethodPost, "/v1/cluster/register", &req, "register-"+a.opts.Name, &resp); err != nil {
 		return fmt.Errorf("node: registering with coordinator: %w", err)
 	}
+	wireOK := false
+	for _, f := range resp.WireFormats {
+		if f == wire.Format {
+			wireOK = true
+			break
+		}
+	}
 	a.mu.Lock()
 	a.nodeID = resp.NodeID
 	a.hbEvery = time.Duration(resp.HeartbeatMS) * time.Millisecond
 	a.poll = time.Duration(resp.PollMS) * time.Millisecond
 	a.needReg = false
+	a.wireOK = wireOK
 	a.mu.Unlock()
-	a.opts.Logger.Printf("node registered id=%s coordinator=%s", resp.NodeID, a.opts.Coordinator)
+	a.opts.Logger.Printf("node registered id=%s coordinator=%s wire=%t", resp.NodeID, a.opts.Coordinator, wireOK)
 	return nil
+}
+
+func (a *agent) wire() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.wireOK
 }
 
 func (a *agent) id() string {
@@ -279,6 +298,7 @@ func (a *agent) runLease(ctx context.Context, lease *cluster.Lease) error {
 	// process-wide CPU budget as local surfaces. Scenario failures are
 	// isolated to their slots; only context cancellation aborts the lease.
 	results := make([]cluster.ScenarioResult, count)
+	useWire := a.wire()
 	simCtx := hetwire.WithTraceID(ctx, lease.TraceID)
 	t0 = time.Now()
 	errs := batch.RunRange(simCtx, lease.Start, lease.End, a.opts.Parallelism, func(ctx context.Context, idx int) error {
@@ -298,6 +318,20 @@ func (a *agent) runLease(ctx context.Context, lease *cluster.Lease) error {
 			}
 			res.Error = err.Error()
 			res.Reason = hetwire.ReasonCode(err)
+			return nil
+		}
+		// Binary-speaking coordinators get the result as a wire frame — the
+		// frame CRC plus the coordinator's full validation replace the JSON
+		// path's declared sha256, and the coordinator stores the frame bytes
+		// without re-encoding.
+		if useWire {
+			frame, err := wire.EncodeRunResult(resp)
+			if err != nil {
+				res.Error = err.Error()
+				res.Reason = hetwire.ReasonBadRequest
+				return nil
+			}
+			res.Frame = frame
 			return nil
 		}
 		body, err := json.Marshal(resp)
@@ -322,7 +356,7 @@ func (a *agent) runLease(ctx context.Context, lease *cluster.Lease) error {
 			ev.Skipped++
 		case results[i].Error != "":
 			ev.Failed++
-		case len(results[i].Body) > 0:
+		case len(results[i].Body) > 0 || len(results[i].Frame) > 0:
 			ev.Simulated++
 		case errs[i] != nil:
 			// Engine-level failure (token acquisition, contained panic) with no
@@ -339,13 +373,23 @@ func (a *agent) runLease(ctx context.Context, lease *cluster.Lease) error {
 	// uploads are idempotent by content on the coordinator.
 	t0 = time.Now()
 	var uresp cluster.UploadResponse
-	err := a.cl.DoJSON(ctx, http.MethodPost, "/v1/cluster/upload", &cluster.UploadRequest{
-		NodeID:  a.id(),
-		LeaseID: lease.ID,
-		JobID:   lease.JobID,
-		Results: results,
-		Spans:   spans,
-	}, "upload-"+lease.ID, &uresp)
+	var err error
+	if useWire {
+		var body []byte
+		body, err = encodeWireUpload(a.id(), lease.ID, lease.JobID, results, spans)
+		if err == nil {
+			err = a.cl.DoBytes(ctx, http.MethodPost, "/v1/cluster/upload", wire.ContentType,
+				body, "upload-"+lease.ID, &uresp)
+		}
+	} else {
+		err = a.cl.DoJSON(ctx, http.MethodPost, "/v1/cluster/upload", &cluster.UploadRequest{
+			NodeID:  a.id(),
+			LeaseID: lease.ID,
+			JobID:   lease.JobID,
+			Results: results,
+			Spans:   spans,
+		}, "upload-"+lease.ID, &uresp)
+	}
 	if err != nil {
 		if reason(err) == cluster.ReasonUnknownNode {
 			a.mu.Lock()
@@ -361,6 +405,35 @@ func (a *agent) runLease(ctx context.Context, lease *cluster.Lease) error {
 		uresp.Accepted, uresp.Duplicate, len(uresp.Requeued), msSince(t0))
 	a.logEvent(ev)
 	return nil
+}
+
+// encodeWireUpload assembles the binary upload body: one TypeUploadHeader
+// frame carrying the lease identity and spans, then one TypeUploadResult
+// frame per scenario, each embedding its result frame verbatim.
+func encodeWireUpload(nodeID, leaseID, jobID string, results []cluster.ScenarioResult, spans []cluster.Span) ([]byte, error) {
+	hdr := &wire.UploadHeader{NodeID: nodeID, LeaseID: leaseID, JobID: jobID}
+	for _, sp := range spans {
+		hdr.Spans = append(hdr.Spans, wire.SpanMS{Name: sp.Name, DurMS: sp.DurMS})
+	}
+	out, err := wire.AppendUploadHeader(nil, hdr)
+	if err != nil {
+		return nil, err
+	}
+	for i := range results {
+		r := &results[i]
+		out, err = wire.AppendUploadResult(out, &wire.UploadResult{
+			Index:    r.Index,
+			CacheKey: r.CacheKey,
+			Frame:    r.Frame,
+			Error:    r.Error,
+			Reason:   r.Reason,
+			Skipped:  r.Skipped,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // cacheCheck queries the federated index, folding any failure into "nothing

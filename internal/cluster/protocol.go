@@ -106,6 +106,11 @@ type RegisterResponse struct {
 	LeaseTTLMS int64 `json:"lease_ttl_ms"`
 	// PollMS is the suggested idle poll interval when no work is available.
 	PollMS int64 `json:"poll_ms"`
+	// WireFormats lists the binary upload encodings the coordinator accepts
+	// (e.g. "hetwire-bin/v1"). A node that recognises one uploads binary
+	// result frames under that content type; otherwise it falls back to the
+	// JSON upload body, which every coordinator accepts.
+	WireFormats []string `json:"wire_formats,omitempty"`
 }
 
 // HeartbeatRequest is the periodic liveness check-in.
@@ -186,8 +191,14 @@ type ScenarioResult struct {
 	// (hetwire.RunRequest.CacheKey); the coordinator uses it to populate the
 	// federated cache and to fill skipped slots.
 	CacheKey string `json:"cache_key,omitempty"`
-	// Body is the marshalled hetwire.RunResponse for completed scenarios.
+	// Body is the JSON-marshalled hetwire.RunResponse for completed
+	// scenarios uploaded in the JSON (debug/fallback) encoding.
 	Body json.RawMessage `json:"body,omitempty"`
+	// Frame is the binary wire frame (wire.EncodeRunResult) for completed
+	// scenarios uploaded in the hetwire-bin encoding. It never rides the
+	// JSON body — the binary upload path populates it directly — and exactly
+	// one of Frame, Body, Error, or Skipped is set per result.
+	Frame []byte `json:"-"`
 	// BodySHA256 is the hex SHA-256 of Body, verified by the coordinator on
 	// receipt (transport integrity) and compared on duplicate uploads (the
 	// idempotency check).

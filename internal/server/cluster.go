@@ -12,6 +12,7 @@ import (
 
 	"hetwire"
 	"hetwire/internal/cluster"
+	"hetwire/internal/wire"
 )
 
 // ClusterOptions turns the daemon into a cluster coordinator: batch jobs are
@@ -158,7 +159,11 @@ func (s *Server) handleClusterCacheCheck(w http.ResponseWriter, r *http.Request)
 
 func (s *Server) handleClusterUpload(w http.ResponseWriter, r *http.Request) {
 	var req cluster.UploadRequest
-	if !decodeCluster(w, r, &req, clusterUploadBodyLimit) {
+	if strings.HasPrefix(r.Header.Get("Content-Type"), wire.ContentType) {
+		if !decodeWireUpload(w, r, &req) {
+			return
+		}
+	} else if !decodeCluster(w, r, &req, clusterUploadBodyLimit) {
 		return
 	}
 	resp, err := s.coord.Upload(&req)
@@ -167,6 +172,56 @@ func (s *Server) handleClusterUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, resp)
+}
+
+// decodeWireUpload reads a binary upload body: one TypeUploadHeader frame
+// carrying the lease identity and spans, followed by one TypeUploadResult
+// frame per scenario. Result frames embedded in the upload are passed to the
+// coordinator verbatim (ScenarioResult.Frame), so an accepted result's bytes
+// are exactly what the node's simulation produced.
+func decodeWireUpload(w http.ResponseWriter, r *http.Request, req *cluster.UploadRequest) bool {
+	fail := func(err error) bool {
+		httpErrorReason(w, http.StatusBadRequest, "bad_wire",
+			fmt.Errorf("decoding cluster upload: %w", err))
+		return false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, clusterUploadBodyLimit))
+	if err != nil {
+		return fail(err)
+	}
+	frames, err := wire.Split(body)
+	if err != nil {
+		return fail(err)
+	}
+	if len(frames) == 0 {
+		return fail(errors.New("empty upload stream"))
+	}
+	hdr, err := wire.DecodeUploadHeader(frames[0])
+	if err != nil {
+		return fail(err)
+	}
+	req.NodeID = hdr.NodeID
+	req.LeaseID = hdr.LeaseID
+	req.JobID = hdr.JobID
+	for _, sp := range hdr.Spans {
+		req.Spans = append(req.Spans, cluster.Span{Name: sp.Name, DurMS: sp.DurMS})
+	}
+	req.Results = make([]cluster.ScenarioResult, 0, len(frames)-1)
+	for _, fr := range frames[1:] {
+		ur, err := wire.DecodeUploadResult(fr)
+		if err != nil {
+			return fail(err)
+		}
+		req.Results = append(req.Results, cluster.ScenarioResult{
+			Index:    ur.Index,
+			CacheKey: ur.CacheKey,
+			Frame:    ur.Frame,
+			Skipped:  ur.Skipped,
+			Error:    ur.Error,
+			Reason:   ur.Reason,
+		})
+	}
+	return true
 }
 
 func (s *Server) handleClusterNodes(w http.ResponseWriter, _ *http.Request) {
@@ -178,10 +233,11 @@ func (s *Server) handleClusterNodes(w http.ResponseWriter, _ *http.Request) {
 
 // runClusterBatch executes a batch job through the cluster fabric instead of
 // the local CPU pool: submit to the coordinator, wait for nodes to lease and
-// upload every scenario, then collect the merged response. The response is
-// bit-identical to local batch execution — scenarios land at their expansion
-// index and carry no node identity — so the golden corpus reproduces exactly
-// through either path.
+// upload every scenario, then collect the per-scenario wire frames and
+// assemble the batch stream by pure byte copy. The stream is bit-identical
+// to local batch execution — scenarios land at their expansion index, carry
+// no node identity, and embed the uploaded result frames verbatim — so the
+// golden corpus reproduces exactly through either path.
 func (s *Server) runClusterBatch(job *Job) ([]byte, bool, error) {
 	jobID, done, err := s.coord.Submit(job.Batch, job.TraceID)
 	if err != nil {
@@ -191,7 +247,7 @@ func (s *Server) runClusterBatch(job *Job) ([]byte, bool, error) {
 		s.coord.Take(jobID) // drop the cancelled job's record
 		return nil, false, err
 	}
-	resp, spanDur, err := s.coord.Take(jobID)
+	frames, outcomes, spanDur, err := s.coord.TakeFrames(jobID)
 	if err != nil {
 		return nil, false, err
 	}
@@ -203,23 +259,15 @@ func (s *Server) runClusterBatch(job *Job) ([]byte, bool, error) {
 			job.spans.observe(name, time.Now(), time.Duration(ms*float64(time.Millisecond)))
 		}
 	}
-	for i := range resp.Scenarios {
-		sc := &resp.Scenarios[i]
-		if sc.Error != "" {
-			job.progress.finishPoint(i, 0, false, errors.New(sc.Error), 0)
-			continue
+	for i, out := range outcomes {
+		var ptErr error
+		if out.Error != "" {
+			ptErr = errors.New(out.Error)
 		}
-		var ipc float64
-		if sc.Response != nil {
-			ipc = sc.Response.IPC
-		}
-		job.progress.finishPoint(i, ipc, sc.Cached, nil, 0)
+		job.progress.finishPoint(i, out.IPC, out.Cached, ptErr, 0)
+		job.progress.publishFrame(i, frames[i])
 	}
-	body, err := json.Marshal(resp)
-	if err != nil {
-		return nil, false, err
-	}
-	return body, resp.CacheHits == len(resp.Scenarios), nil
+	return assembleBatch(frames)
 }
 
 // renderCluster emits the coordinator metrics; a nil hook (non-coordinator

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"hetwire"
+	"hetwire/internal/wire"
 )
 
 // JobState is the lifecycle of a submitted job.
@@ -53,7 +54,9 @@ type Job struct {
 
 	mu         sync.Mutex
 	state      JobState
-	body       []byte // marshalled result, valid when state == StateDone
+	body       []byte // encoded result (wire frames or JSON), valid when state == StateDone
+	jsonBody   []byte // memoized JSON view of a wire-framed body, built on first demand
+	jsonErr    error
 	errMsg     string
 	failureLog string // stack trace when the job died to a worker panic
 	cacheHit   bool
@@ -230,12 +233,57 @@ func (j *Job) Status(withResult bool) JobStatus {
 		}
 	}
 	if withResult && j.state == StateDone {
-		st.Result = j.body
+		st.Result = j.resultJSONLocked()
 	}
 	// Batch progress is read outside j.mu (it has its own lock) but the
 	// pointer itself is immutable after submission.
 	st.Batch = j.progress.snapshot(withResult)
 	return st
+}
+
+// RawResult returns the stored result body exactly as the worker produced
+// it — wire frames for run and batch jobs, JSON for sweeps — without any
+// conversion. This is the zero-copy serving path: a binary-negotiating
+// client gets the cached frame bytes with no decode.
+func (j *Job) RawResult() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil
+	}
+	return j.body
+}
+
+// resultJSONLocked returns the JSON view of the result body, converting a
+// wire-framed body on first demand and memoizing it (polling clients that
+// want JSON pay the decode once per job, not per poll). Called with j.mu
+// held.
+func (j *Job) resultJSONLocked() json.RawMessage {
+	if len(j.body) == 0 || !wire.IsWire(j.body) {
+		return j.body
+	}
+	if j.jsonBody == nil && j.jsonErr == nil {
+		j.jsonBody, j.jsonErr = wireBodyJSON(j.Kind, j.body)
+	}
+	return j.jsonBody
+}
+
+// wireBodyJSON converts a stored wire body into the JSON debug view.
+func wireBodyJSON(kind string, body []byte) ([]byte, error) {
+	switch kind {
+	case "batch":
+		resp, err := wire.DecodeBatch(body)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(resp)
+	default:
+		resp, err := wire.DecodeRunResult(body)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(resp)
+	}
 }
 
 // Errors the queue reports to submitters.
@@ -365,10 +413,16 @@ type BatchStatus struct {
 // batchProgress is the mutable progress record behind BatchStatus. Scenario
 // workers update their own point under the progress lock; status polls
 // snapshot concurrently, which is what makes partial batch results visible
-// while the job is still running.
+// while the job is still running. It also carries the per-scenario wire
+// frames as they are produced, which is what the streaming endpoint reads:
+// a frame is published exactly once, and every publication closes the
+// current notify channel so blocked streamers re-check.
 type batchProgress struct {
 	mu     sync.Mutex
+	reqs   []hetwire.RunRequest
 	points []BatchPointStatus
+	frames [][]byte
+	notify chan struct{}
 	done   int
 	failed int
 	hits   int
@@ -376,7 +430,12 @@ type batchProgress struct {
 
 // newBatchProgress pre-populates one pending point per expanded scenario.
 func newBatchProgress(reqs []hetwire.RunRequest) *batchProgress {
-	p := &batchProgress{points: make([]BatchPointStatus, len(reqs))}
+	p := &batchProgress{
+		reqs:   reqs,
+		points: make([]BatchPointStatus, len(reqs)),
+		frames: make([][]byte, len(reqs)),
+		notify: make(chan struct{}),
+	}
 	for i := range reqs {
 		bench := reqs[i].Benchmark
 		if bench == "" && len(reqs[i].Benchmarks) > 0 {
@@ -414,6 +473,45 @@ func (p *batchProgress) finishPoint(i int, ipc float64, cached bool, err error, 
 		p.hits++
 	}
 }
+
+// publishFrame records scenario i's wire frame and wakes streamers. Frames
+// arrive in completion order; streamers serialise them back into canonical
+// index order.
+func (p *batchProgress) publishFrame(i int, frame []byte) {
+	p.mu.Lock()
+	p.frames[i] = frame
+	ch := p.notify
+	p.notify = make(chan struct{})
+	p.mu.Unlock()
+	close(ch)
+}
+
+// frameAt returns scenario i's published frame, or nil if it has not
+// resolved yet.
+func (p *batchProgress) frameAt(i int) []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.frames[i]
+}
+
+// changed returns a channel closed at the next frame publication. Acquire
+// it BEFORE re-checking frameAt: publications between the check and the
+// wait then close exactly this channel, so a streamer can never sleep
+// through the frame it is waiting for.
+func (p *batchProgress) changed() <-chan struct{} {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.notify
+}
+
+// request returns scenario i's expanded request (streamers synthesising
+// cancelled-scenario frames need the exact request bytes).
+func (p *batchProgress) request(i int) hetwire.RunRequest {
+	return p.reqs[i] // immutable after construction
+}
+
+// total returns the expanded scenario count.
+func (p *batchProgress) total() int { return len(p.reqs) }
 
 // snapshot renders the progress; nil receiver (non-batch jobs) yields nil.
 func (p *batchProgress) snapshot(withPoints bool) *BatchStatus {

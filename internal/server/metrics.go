@@ -159,6 +159,10 @@ func (m *Metrics) ObserveJobWall(d time.Duration) {
 	m.jobWallCount.Add(1)
 }
 
+// ObservedJobs reports how many terminal jobs have contributed wall-time
+// samples; zero means MeanJobLatency has nothing real to report.
+func (m *Metrics) ObservedJobs() uint64 { return m.jobWallCount.Load() }
+
 // MeanJobLatency is the observed mean wall time of terminal jobs, or the
 // fallback when no job has finished yet.
 func (m *Metrics) MeanJobLatency(fallback time.Duration) time.Duration {

@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -39,6 +40,7 @@ import (
 	"hetwire/internal/cluster"
 	"hetwire/internal/config"
 	"hetwire/internal/faultinject"
+	"hetwire/internal/wire"
 )
 
 // Options configures a Server.
@@ -62,6 +64,10 @@ type Options struct {
 	// MaxSweepPoints bounds how many points one sweep job may expand to
 	// (default 1024); larger sweeps are rejected at submission.
 	MaxSweepPoints int
+	// DefaultRetryAfter is the Retry-After hint returned on queue-full
+	// rejections before any job has completed, when no observed latency
+	// exists to estimate drain time from (default 1s).
+	DefaultRetryAfter time.Duration
 	// Faults optionally wires the deterministic fault-injection harness into
 	// the worker path (chaos tests, HETWIRE_FAULTS). Nil injects nothing.
 	Faults *faultinject.Injector
@@ -98,6 +104,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxSweepPoints <= 0 {
 		o.MaxSweepPoints = 1024
+	}
+	if o.DefaultRetryAfter <= 0 {
+		o.DefaultRetryAfter = time.Second
 	}
 	if o.Logger == nil {
 		o.Logger = log.New(discard{}, "", 0)
@@ -152,6 +161,7 @@ func New(opts Options) *Server {
 	s.route("POST", "/v1/jobs", s.handleSubmit)
 	s.route("GET", "/v1/jobs", s.handleListJobs)
 	s.route("GET", "/v1/jobs/{id}", s.handleGetJob)
+	s.route("GET", "/v1/jobs/{id}/stream", s.handleStreamJob)
 	s.route("DELETE", "/v1/jobs/{id}", s.handleCancelJob)
 	s.route("GET", "/v1/catalog", s.handleCatalog)
 	s.route("GET", "/healthz", s.handleHealthz)
@@ -222,6 +232,14 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	n, err := r.ResponseWriter.Write(p)
 	r.bytes += n
 	return n, err
+}
+
+// Flush forwards to the wrapped writer so streaming handlers can push
+// frames through the recorder.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // Shutdown drains the daemon: intake closes immediately (submissions get
@@ -406,8 +424,13 @@ func (s *Server) runCached(ctx context.Context, req *hetwire.RunRequest, spans *
 		s.metrics.simBusy.Add(int64(simDur))
 		s.metrics.instructions.Add(resp.Instructions)
 		spans.observe(spanSimRun, fillStart, simDur)
+		// The cache stores the binary wire frame, not JSON: hits and
+		// coalesced waiters then serve results by copying stored bytes, and
+		// binary consumers (batch streams, cluster uploads) embed the frame
+		// without ever re-encoding. JSON views are rendered lazily at the
+		// HTTP edge only when a client asks for them.
 		encStart := time.Now()
-		b, err := json.Marshal(resp)
+		b, err := wire.EncodeRunResult(resp)
 		spans.observe(spanResultEncode, encStart, time.Since(encStart))
 		return b, err
 	})
@@ -459,68 +482,132 @@ func (s *Server) runSweep(ctx context.Context, sw *SweepRequest, spans *spanReco
 // parallel under the process CPU-token budget, each going through the result
 // cache individually, with per-scenario spans merged into the job's recorder
 // and per-scenario progress published as each one finishes (a status poll
-// mid-run sees the completed prefix). The merged response is deterministic —
-// scenarios land at their expansion index regardless of completion order —
-// and scenario failures are isolated into their slot rather than failing the
-// job; only cancellation or a deadline ends the job early.
+// mid-run sees the completed prefix, and the streaming endpoint relays each
+// scenario frame as it lands). The job body is the binary batch stream —
+// header, one TypeScenario frame per expansion index, trailer — assembled by
+// concatenating the already-published frames; a cached scenario's stored
+// result frame is embedded verbatim, so the batch path never decodes or
+// re-encodes a result. Scenario failures are isolated into their slot rather
+// than failing the job; only cancellation or a deadline ends the job early.
 func (s *Server) runBatch(job *Job) ([]byte, bool, error) {
 	ctx := job.ctx
 	reqs, err := job.Batch.Expand()
 	if err != nil {
 		return nil, false, err
 	}
-	type slot struct {
-		body []byte
-		hit  bool
-	}
-	slots := make([]slot, len(reqs))
+	frames := make([][]byte, len(reqs))
 	errs := batch.Run(ctx, len(reqs), job.Batch.Parallelism, func(ctx context.Context, i int) error {
 		start := time.Now()
 		body, hit, err := s.runCached(ctx, &reqs[i], job.spans)
 		job.progress.finishPoint(i, ipcOf(body), hit, err, time.Since(start))
-		if err != nil {
-			return err
+		fr, encErr := scenarioFrame(i, reqs[i], body, hit, err)
+		if encErr != nil {
+			return encErr
 		}
-		slots[i] = slot{body: body, hit: hit}
-		return nil
+		frames[i] = fr
+		job.progress.publishFrame(i, fr)
+		return err
 	})
-	out := hetwire.BatchResponse{Scenarios: make([]hetwire.BatchScenario, len(reqs))}
-	for i := range out.Scenarios {
-		sc := &out.Scenarios[i]
-		sc.Index = i
-		sc.Request = reqs[i]
-		if errs[i] != nil {
-			sc.Error = errs[i].Error()
-			if errors.Is(errs[i], context.Canceled) || errors.Is(errs[i], context.DeadlineExceeded) {
-				sc.Reason = "cancelled"
-			} else {
-				sc.Reason = hetwire.ReasonCode(errs[i])
-			}
-			out.Failed++
+	// Scenarios the run never started (cancellation) or whose frame failed to
+	// encode still occupy their index: synthesize an error frame so both the
+	// stream and the merged body carry every expansion slot.
+	for i := range frames {
+		if frames[i] != nil {
 			continue
 		}
-		var resp hetwire.RunResponse
-		if err := json.Unmarshal(slots[i].body, &resp); err != nil {
-			return nil, false, fmt.Errorf("batch scenario %d: decoding result: %w", i, err)
+		cause := errs[i]
+		if cause == nil {
+			cause = errors.New("scenario did not run")
 		}
-		sc.Response = &resp
-		sc.Cached = slots[i].hit
-		if slots[i].hit {
-			out.CacheHits++
+		fr, encErr := scenarioFrame(i, reqs[i], nil, false, cause)
+		if encErr != nil {
+			return nil, false, encErr
 		}
-		out.Completed++
+		frames[i] = fr
+		job.progress.publishFrame(i, fr)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
 	encStart := time.Now()
-	body, err := json.Marshal(out)
+	body, hit, err := assembleBatch(frames)
 	job.spans.observe(spanResultEncode, encStart, time.Since(encStart))
-	return body, out.CacheHits == len(reqs), err
+	return body, hit, err
 }
 
-// ipcOf extracts the summary IPC from a marshalled response body.
+// scenarioFrame encodes one resolved batch scenario into its wire frame. A
+// successful scenario embeds the cached result frame verbatim; a failed one
+// carries the error and reason strings instead.
+func scenarioFrame(i int, req hetwire.RunRequest, body []byte, hit bool, err error) ([]byte, error) {
+	sc := &wire.Scenario{Index: i, Request: req}
+	if err != nil {
+		sc.Error = err.Error()
+		sc.Reason = scenarioReason(err)
+	} else {
+		sc.Result = body
+		sc.Cached = hit
+	}
+	return wire.AppendScenario(nil, sc)
+}
+
+// scenarioReason maps a scenario error to its machine-readable reason code.
+func scenarioReason(err error) string {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return "cancelled"
+	}
+	return hetwire.ReasonCode(err)
+}
+
+// assembleBatch concatenates published scenario frames into the canonical
+// batch stream, deriving the trailer counts from the frame headers alone.
+// The bool result reports whether every scenario was a cache hit.
+func assembleBatch(frames [][]byte) ([]byte, bool, error) {
+	var completed, failed, hits int
+	for i, fr := range frames {
+		h, err := wire.PeekHeader(fr)
+		if err != nil {
+			return nil, false, fmt.Errorf("batch scenario %d: %w", i, err)
+		}
+		if h.Flags&wire.FlagError != 0 {
+			failed++
+			continue
+		}
+		completed++
+		if h.Flags&wire.FlagCached != 0 {
+			hits++
+		}
+	}
+	out, err := wire.AppendBatchHeader(nil, len(frames))
+	if err != nil {
+		return nil, false, err
+	}
+	for _, fr := range frames {
+		out = append(out, fr...)
+	}
+	out, err = wire.AppendBatchTrailer(out, wire.BatchTrailer{
+		Total:     len(frames),
+		Completed: completed,
+		Failed:    failed,
+		CacheHits: hits,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return out, hits == len(frames), nil
+}
+
+// ipcOf extracts the summary IPC from a result body. Wire frames carry the
+// IPC in the frame header, so the common path reads 28 bytes and never
+// decodes the payload; JSON bodies (sweep and batch summaries) fall back to
+// unmarshalling.
 func ipcOf(body []byte) float64 {
+	if wire.IsWire(body) {
+		h, err := wire.PeekHeader(body)
+		if err != nil || h.Type != wire.TypeRunResult {
+			return 0
+		}
+		return h.SummaryFloat()
+	}
 	var v struct {
 		IPC float64 `json:"ipc"`
 	}
@@ -702,8 +789,13 @@ func (s *Server) pruneLocked() {
 // retryAfter estimates how long a rejected submitter should back off: the
 // queue's expected drain time, i.e. depth x observed mean job latency spread
 // over the worker pool, clamped to [1s, 5m] and rounded up to whole seconds
-// (the Retry-After header's unit).
+// (the Retry-After header's unit). Before any job has completed there is no
+// observed latency to scale by queue depth, so the configured default is
+// returned as-is rather than multiplying a guess by the depth.
 func (s *Server) retryAfter() time.Duration {
+	if s.metrics.ObservedJobs() == 0 {
+		return s.opts.DefaultRetryAfter.Round(time.Second)
+	}
 	mean := s.metrics.MeanJobLatency(time.Second)
 	depth := s.queue.depth() + 1 // the job that would have queued
 	est := time.Duration(depth) * mean / time.Duration(s.opts.Workers)
@@ -777,7 +869,7 @@ func (s *Server) handleRunSync(w http.ResponseWriter, r *http.Request) {
 		httpError(w, 499, fmt.Errorf("client closed request; job %s continues", job.ID))
 		return
 	}
-	st := job.Status(true)
+	st := job.Status(false)
 	switch st.State {
 	case StateDone:
 		if st.CacheHit {
@@ -785,13 +877,26 @@ func (s *Server) handleRunSync(w http.ResponseWriter, r *http.Request) {
 		} else {
 			w.Header().Set("X-Hetwired-Cache", "miss")
 		}
+		// Content negotiation: a client accepting the binary wire format gets
+		// the stored frame copied straight out of the cache — zero decode, zero
+		// re-encode. Everyone else gets the JSON debug view, rendered lazily.
+		if acceptsWire(r) {
+			w.Header().Set("Content-Type", wire.ContentType)
+			w.Write(job.RawResult())
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		w.Write(st.Result)
+		w.Write(job.Status(true).Result)
 	case StateCancelled:
 		httpError(w, http.StatusConflict, fmt.Errorf("job %s cancelled", job.ID))
 	default:
 		httpError(w, http.StatusInternalServerError, errors.New(st.Error))
 	}
+}
+
+// acceptsWire reports whether the request opted into the binary wire format.
+func acceptsWire(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), wire.ContentType)
 }
 
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,338 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"hetwire/internal/wire"
+)
+
+// --- the binary streaming endpoint (GET /v1/jobs/{id}/stream) ---
+
+// submitBatch posts a batch and returns its submission status.
+func submitBatch(t *testing.T, base string, body map[string]any) JobStatus {
+	t.Helper()
+	resp, raw := postJSON(t, base+"/v1/jobs", body)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit status = %d: %s", resp.StatusCode, raw)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// openStream starts the binary stream for a job and returns a frame reader
+// over the live response body.
+func openStream(t *testing.T, ctx context.Context, base, id string) (*wire.Reader, *http.Response) {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("stream status = %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != wire.ContentType {
+		t.Fatalf("stream Content-Type = %q, want %q", ct, wire.ContentType)
+	}
+	return wire.NewReader(resp.Body), resp
+}
+
+// readBatchHeader reads and validates the stream-opening batch header.
+func readBatchHeader(t *testing.T, rd *wire.Reader, wantTotal int) {
+	t.Helper()
+	h, frame, err := rd.Next()
+	if err != nil {
+		t.Fatalf("reading batch header: %v", err)
+	}
+	if h.Type != wire.TypeBatchHeader {
+		t.Fatalf("first frame type = %#x, want TypeBatchHeader", h.Type)
+	}
+	total, err := wire.DecodeBatchHeader(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != wantTotal {
+		t.Fatalf("batch header total = %d, want %d", total, wantTotal)
+	}
+}
+
+// TestStreamBatchOrderedBeforeCompletion is the streaming e2e: a batch
+// submitted over the binary endpoint delivers per-scenario frames in
+// canonical expansion-index order while the job is still running — the
+// first frame is observable before the last scenario has simulated — and
+// the trailer counts agree with the frames that preceded it.
+func TestStreamBatchOrderedBeforeCompletion(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1})
+	// One worker, sequential scenarios with a non-trivial budget: the stream
+	// must outrun the batch, not trail it.
+	st := submitBatch(t, ts.URL, batchBody([]string{"I", "V"}, []string{"gzip", "gcc", "mcf"}, 120_000, 1))
+	const total = 6
+
+	rd, _ := openStream(t, context.Background(), ts.URL, st.ID)
+	readBatchHeader(t, rd, total)
+
+	sawLive := false
+	for i := 0; i < total; i++ {
+		h, frame, err := rd.Next()
+		if err != nil {
+			t.Fatalf("reading scenario %d: %v", i, err)
+		}
+		if h.Type != wire.TypeScenario {
+			t.Fatalf("frame %d type = %#x, want TypeScenario", i, h.Type)
+		}
+		if int(h.Index) != i {
+			t.Fatalf("frame %d carries index %d: stream is out of canonical order", i, h.Index)
+		}
+		sc, err := wire.DecodeScenario(frame)
+		if err != nil {
+			t.Fatalf("scenario %d: %v", i, err)
+		}
+		if sc.Error != "" || sc.Result == nil {
+			t.Fatalf("scenario %d failed: %s", i, sc.Error)
+		}
+		if h.SummaryFloat() <= 0 {
+			t.Errorf("scenario %d header summary = %g, want positive IPC", i, h.SummaryFloat())
+		}
+		// The job still has scenarios to run after the first frame arrives:
+		// delivery is progressive, not a terminal-blob replay.
+		if i == 0 && !s.lookup(st.ID).State().Terminal() {
+			sawLive = true
+		}
+	}
+	if !sawLive {
+		t.Error("first frame arrived only after the job terminated; stream is not progressive")
+	}
+
+	h, frame, err := rd.Next()
+	if err != nil {
+		t.Fatalf("reading trailer: %v", err)
+	}
+	if h.Type != wire.TypeBatchTrailer {
+		t.Fatalf("final frame type = %#x, want TypeBatchTrailer", h.Type)
+	}
+	tr, err := wire.DecodeBatchTrailer(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total != total || tr.Completed != total || tr.Failed != 0 || tr.Incomplete() {
+		t.Errorf("trailer = %+v, want %d clean completions", tr, total)
+	}
+	if _, _, err := rd.Next(); err != io.EOF {
+		t.Errorf("stream has bytes after the trailer: %v", err)
+	}
+}
+
+// TestStreamClientDisconnectJobContinues: a client that vanishes mid-stream
+// must not take the job with it — the worker finishes the batch, the
+// counters stay exact, and a later stream of the finished job replays every
+// frame.
+func TestStreamClientDisconnectJobContinues(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	st := submitBatch(t, ts.URL, batchBody([]string{"I", "V"}, []string{"gzip", "gcc"}, 120_000, 1))
+	const total = 4
+
+	ctx, cancel := context.WithCancel(context.Background())
+	rd, _ := openStream(t, ctx, ts.URL, st.ID)
+	readBatchHeader(t, rd, total)
+	if h, _, err := rd.Next(); err != nil || h.Type != wire.TypeScenario || h.Index != 0 {
+		t.Fatalf("first scenario frame: type=%#x index=%d err=%v", h.Type, h.Index, err)
+	}
+	cancel() // hang up mid-stream
+
+	final := waitTerminal(t, ts.URL, st.ID, 60*time.Second)
+	if final.State != StateDone {
+		t.Fatalf("job after disconnect = %s (%s), want done", final.State, final.Error)
+	}
+	if final.Batch == nil || final.Batch.Completed != total || final.Batch.Failed != 0 {
+		t.Fatalf("batch counters after disconnect = %+v", final.Batch)
+	}
+
+	// The worker is free again: a fresh job gets through promptly.
+	resp, raw := postJSON(t, ts.URL+"/v1/jobs", map[string]any{"benchmark": "gzip", "n": 3000})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-disconnect submit = %d: %s", resp.StatusCode, raw)
+	}
+	var next JobStatus
+	if err := json.Unmarshal(raw, &next); err != nil {
+		t.Fatal(err)
+	}
+	if got := waitTerminal(t, ts.URL, next.ID, 30*time.Second); got.State != StateDone {
+		t.Fatalf("post-disconnect job = %s", got.State)
+	}
+
+	// Re-streaming the finished job replays the full frame sequence.
+	rd2, _ := openStream(t, context.Background(), ts.URL, st.ID)
+	readBatchHeader(t, rd2, total)
+	for i := 0; i < total; i++ {
+		h, _, err := rd2.Next()
+		if err != nil || h.Type != wire.TypeScenario || int(h.Index) != i {
+			t.Fatalf("replay frame %d: type=%#x index=%d err=%v", i, h.Type, h.Index, err)
+		}
+	}
+	h, frame, err := rd2.Next()
+	if err != nil || h.Type != wire.TypeBatchTrailer {
+		t.Fatalf("replay trailer: type=%#x err=%v", h.Type, err)
+	}
+	tr, err := wire.DecodeBatchTrailer(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Completed != total || tr.Incomplete() {
+		t.Errorf("replay trailer = %+v", tr)
+	}
+}
+
+// TestStreamCacheHitsZeroDecode: resubmitting a finished batch streams every
+// scenario from the stored result frames — each frame flagged cached, no
+// re-simulation, and (the zero-copy invariant) not a single RunResponse
+// payload decode anywhere in the process while the stream is served.
+func TestStreamCacheHitsZeroDecode(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 2})
+	body := batchBody([]string{"I", "V"}, []string{"gzip", "mcf"}, 3_000, 0)
+	const total = 4
+
+	first := submitBatch(t, ts.URL, body)
+	if st := waitTerminal(t, ts.URL, first.ID, 60*time.Second); st.State != StateDone {
+		t.Fatalf("warming batch = %s (%s)", st.State, st.Error)
+	}
+	simsBefore := s.Cache().Stats().Misses
+
+	second := submitBatch(t, ts.URL, body)
+	decodesBefore := wire.ResultDecodes.Value()
+	rd, _ := openStream(t, context.Background(), ts.URL, second.ID)
+	readBatchHeader(t, rd, total)
+	for i := 0; i < total; i++ {
+		h, _, err := rd.Next()
+		if err != nil {
+			t.Fatalf("cached scenario %d: %v", i, err)
+		}
+		if int(h.Index) != i || h.Type != wire.TypeScenario {
+			t.Fatalf("cached frame %d: type=%#x index=%d", i, h.Type, h.Index)
+		}
+		if h.Flags&wire.FlagCached == 0 {
+			t.Errorf("scenario %d not served from cache", i)
+		}
+	}
+	h, frame, err := rd.Next()
+	if err != nil || h.Type != wire.TypeBatchTrailer {
+		t.Fatalf("cached trailer: type=%#x err=%v", h.Type, err)
+	}
+	tr, err := wire.DecodeBatchTrailer(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.CacheHits != total || tr.Completed != total {
+		t.Errorf("cached trailer = %+v, want %d cache hits", tr, total)
+	}
+	if got := wire.ResultDecodes.Value(); got != decodesBefore {
+		t.Errorf("cache-hit stream performed %d result decodes, want 0", got-decodesBefore)
+	}
+	if sims := s.Cache().Stats().Misses; sims != simsBefore {
+		t.Errorf("cache-hit batch re-simulated %d scenarios", sims-simsBefore)
+	}
+}
+
+// --- binary /v1/run negotiation ---
+
+// TestRunSyncBinaryCacheHitZeroDecode: a /v1/run cache hit negotiated via
+// Accept is served as one copy of the stored frame — the ResultDecodes
+// counter must not move for the entire hit request.
+func TestRunSyncBinaryCacheHitZeroDecode(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	post := func() (*http.Response, []byte) {
+		t.Helper()
+		raw, _ := json.Marshal(map[string]any{"benchmark": "gzip", "n": 5_000})
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/run", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Accept", wire.ContentType)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+
+	if resp, body := post(); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warming run = %d: %s", resp.StatusCode, body)
+	}
+
+	before := wire.ResultDecodes.Value()
+	resp, body := post()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cache-hit run = %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Hetwired-Cache"); got != "hit" {
+		t.Fatalf("X-Hetwired-Cache = %q, want hit", got)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != wire.ContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, wire.ContentType)
+	}
+	if !wire.IsWire(body) {
+		t.Fatal("hit body is not a wire frame")
+	}
+	if err := wire.ValidateResultFrame(body); err != nil {
+		t.Fatalf("hit frame invalid: %v", err)
+	}
+	if got := wire.ResultDecodes.Value(); got != before {
+		t.Errorf("binary cache hit performed %d result decodes, want 0", got-before)
+	}
+	// Client-side decode (after the measurement window) yields a real result.
+	out, err := wire.DecodeRunResult(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Benchmark != "gzip" || out.IPC <= 0 {
+		t.Errorf("decoded hit = %+v", out)
+	}
+}
+
+// --- Retry-After before the first completed job ---
+
+// TestRetryAfterDefaultBeforeFirstJob is the regression test for the
+// zero-jobs-completed case: with no observed job latency to scale by queue
+// depth, a 429 must carry the configured default hint rather than a
+// depth-multiplied guess.
+func TestRetryAfterDefaultBeforeFirstJob(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 1, DefaultRetryAfter: 7 * time.Second})
+	sawBusy := false
+	for i := 0; i < 8; i++ {
+		resp, _ := postJSON(t, ts.URL+"/v1/jobs", map[string]any{"benchmark": "gzip", "n": 300_000})
+		if resp.StatusCode == http.StatusTooManyRequests {
+			sawBusy = true
+			ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+			if err != nil {
+				t.Fatalf("Retry-After = %q: %v", resp.Header.Get("Retry-After"), err)
+			}
+			if ra != 7 {
+				t.Errorf("Retry-After before first completed job = %d, want the configured 7", ra)
+			}
+			break
+		}
+	}
+	if !sawBusy {
+		t.Error("queue never reported full")
+	}
+}

@@ -1,0 +1,124 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// TraceWriter wraps a hetwire-trace/v1 JSONL stream into TypeTraceRecord
+// frames: each line becomes one frame carrying the line bytes (without the
+// newline) and its sequence number. The JSONL lines stay canonical — the
+// binary container is a framing around the exact bytes the JSON recorder
+// produces — so a trace round-tripped through the container is
+// byte-identical, and trace determinism (`cmp` in CI) holds in both
+// formats.
+type TraceWriter struct {
+	w   io.Writer
+	buf []byte
+	seq uint32
+	err error
+}
+
+// NewTraceWriter returns a writer that frames JSONL lines written to it
+// into w. Close flushes any final unterminated line.
+func NewTraceWriter(w io.Writer) *TraceWriter { return &TraceWriter{w: w} }
+
+// Write buffers p and emits one frame per completed line.
+func (tw *TraceWriter) Write(p []byte) (int, error) {
+	if tw.err != nil {
+		return 0, tw.err
+	}
+	tw.buf = append(tw.buf, p...)
+	for {
+		nl := bytes.IndexByte(tw.buf, '\n')
+		if nl < 0 {
+			return len(p), nil
+		}
+		if err := tw.emit(tw.buf[:nl]); err != nil {
+			return 0, err
+		}
+		tw.buf = tw.buf[nl+1:]
+	}
+}
+
+func (tw *TraceWriter) emit(line []byte) error {
+	frame, err := AppendTraceRecord(nil, tw.seq, line)
+	if err == nil {
+		_, err = tw.w.Write(frame)
+	}
+	if err != nil {
+		tw.err = err
+		return err
+	}
+	tw.seq++
+	return nil
+}
+
+// Close flushes a trailing unterminated line, if any. It does not close
+// the underlying writer.
+func (tw *TraceWriter) Close() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if len(tw.buf) > 0 {
+		if err := tw.emit(tw.buf); err != nil {
+			return err
+		}
+		tw.buf = nil
+	}
+	return nil
+}
+
+// traceReader converts a TypeTraceRecord frame stream back into the JSONL
+// byte stream it wrapped, validating frame integrity and that sequence
+// numbers run 0,1,2,… without gaps.
+type traceReader struct {
+	r       *Reader
+	pending []byte
+	next    uint32
+	err     error
+	eof     bool
+}
+
+// NewTraceReader returns an io.Reader yielding the JSONL stream wrapped in
+// a binary trace container.
+func NewTraceReader(r io.Reader) io.Reader { return &traceReader{r: NewReader(r)} }
+
+func (tr *traceReader) Read(p []byte) (int, error) {
+	for len(tr.pending) == 0 {
+		if tr.err != nil {
+			return 0, tr.err
+		}
+		if tr.eof {
+			return 0, io.EOF
+		}
+		h, frame, err := tr.r.Next()
+		if err == io.EOF {
+			tr.eof = true
+			return 0, io.EOF
+		}
+		if err != nil {
+			tr.err = err
+			return 0, err
+		}
+		if h.Type != TypeTraceRecord {
+			tr.err = fmt.Errorf("wire: frame type %#02x inside a trace container", h.Type)
+			return 0, tr.err
+		}
+		seq, line, err := DecodeTraceRecord(frame)
+		if err != nil {
+			tr.err = err
+			return 0, err
+		}
+		if seq != tr.next {
+			tr.err = fmt.Errorf("wire: trace record %d arrived where %d was expected", seq, tr.next)
+			return 0, tr.err
+		}
+		tr.next++
+		tr.pending = append(line, '\n')
+	}
+	n := copy(p, tr.pending)
+	tr.pending = tr.pending[n:]
+	return n, nil
+}

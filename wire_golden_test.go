@@ -1,0 +1,274 @@
+package hetwire_test
+
+// Wire-format golden corpus: the binary serving path (hetwire-bin/v1,
+// internal/wire) must be behaviour-invisible. Two guards live here, outside
+// package hetwire because internal/wire imports it:
+//
+//   - TestGoldenWireFixtures pins the encoded bytes themselves for a
+//     representative scenario slice under testdata/golden-wire/. Any change
+//     to the frame layout or payload encoding fails the byte comparison and
+//     must be acknowledged with -update-golden-wire (a format-version event,
+//     see DESIGN §10).
+//   - TestGoldenWireCrossPath runs the full 72-scenario golden matrix and
+//     proves decode(encode(r)) reaches the same ResultHash as the JSON path
+//     — the binary wire is bit-identical to the debug view, scenario by
+//     scenario.
+//
+// Refresh the byte fixtures intentionally with:
+//
+//	go test -run TestGoldenWireFixtures -update-golden-wire .
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hetwire"
+	"hetwire/internal/config"
+	"hetwire/internal/wire"
+)
+
+var updateGoldenWire = flag.Bool("update-golden-wire", false, "rewrite the testdata/golden-wire fixtures")
+
+// The matrix mirrors golden_test.go exactly; it is restated here because
+// this file compiles as an external test package.
+var wireGoldenModels = []config.ModelID{config.ModelI, config.ModelV, config.ModelVIII}
+
+var wireGoldenTopologies = []struct {
+	name string
+	topo config.Topology
+}{
+	{"crossbar4", config.Crossbar4},
+	{"hierring16", config.HierRing16},
+}
+
+var wireGoldenBenchmarks = []string{"gzip", "gcc", "mcf", "swim", "mesa", "vortex"}
+
+var wireGoldenCounts = []uint64{4_000, 16_000}
+
+// The byte-fixture slice: every model and topology, one int-heavy and one
+// fp/streaming benchmark, at the small budget. 12 committed frames cover
+// all struct shapes (Stats maps, per-class network rows) without bloating
+// the repo.
+var wireFixtureBenchmarks = []string{"gcc", "swim"}
+
+const wireFixtureN = 4_000
+
+func modelShort(id config.ModelID) string {
+	return strings.TrimPrefix(id.String(), "Model-")
+}
+
+func wireFixtureFile(id config.ModelID, topo string, bench string, n uint64) string {
+	return filepath.Join("testdata", "golden-wire",
+		fmt.Sprintf("%s_%s_%s_n%d.bin", modelShort(id), topo, bench, n))
+}
+
+// wireGoldenRun executes one corpus scenario through the serving-path entry
+// point (RunRequest.Execute), which is what the daemon encodes.
+func wireGoldenRun(t testing.TB, id config.ModelID, topo config.Topology, bench string, n uint64) *hetwire.RunResponse {
+	t.Helper()
+	req := &hetwire.RunRequest{Benchmark: bench, Model: modelShort(id), Clusters: topo.Clusters(), N: n}
+	resp, err := req.Execute()
+	if err != nil {
+		t.Fatalf("Execute(%v, %s, %s, %d): %v", id, topo, bench, n, err)
+	}
+	return resp
+}
+
+func respHash(t testing.TB, resp *hetwire.RunResponse) string {
+	t.Helper()
+	if resp.Stats == nil {
+		t.Fatal("RunResponse.Stats missing for single run")
+	}
+	return hetwire.ResultHash(hetwire.Result{Benchmark: resp.Benchmark, Stats: *resp.Stats})
+}
+
+// readGoldenHashes loads the pinned ResultHash fixture for one model (the
+// same file TestGoldenCorpus compares against).
+func readGoldenHashes(t *testing.T, id config.ModelID) map[string]string {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", fmt.Sprintf("model_%s.json", modelShort(id)))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden fixture missing (run with -update-golden to create): %v", err)
+	}
+	out := make(map[string]string)
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("golden fixture %s corrupt: %v", path, err)
+	}
+	return out
+}
+
+// TestGoldenWireFixtures pins the encoded frame bytes for the fixture
+// slice: encoding the scenario's response must reproduce the committed
+// bytes exactly, the committed bytes must decode to the pinned ResultHash,
+// and re-encoding the decoded struct must reproduce the frame (the
+// canonical-encoding property, on real simulator output rather than fuzz
+// inputs).
+func TestGoldenWireFixtures(t *testing.T) {
+	if *updateGoldenWire {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden-wire"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range wireGoldenModels {
+			for _, tp := range wireGoldenTopologies {
+				for _, bench := range wireFixtureBenchmarks {
+					resp := wireGoldenRun(t, id, tp.topo, bench, wireFixtureN)
+					frame, err := wire.EncodeRunResult(resp)
+					if err != nil {
+						t.Fatal(err)
+					}
+					path := wireFixtureFile(id, tp.name, bench, wireFixtureN)
+					if err := os.WriteFile(path, frame, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					t.Logf("wrote %s (%d bytes)", path, len(frame))
+				}
+			}
+		}
+		return
+	}
+	for _, id := range wireGoldenModels {
+		id := id
+		golden := readGoldenHashes(t, id)
+		for _, tp := range wireGoldenTopologies {
+			tp := tp
+			for _, bench := range wireFixtureBenchmarks {
+				bench := bench
+				name := fmt.Sprintf("%s/%s/%s", id, tp.name, bench)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					path := wireFixtureFile(id, tp.name, bench, wireFixtureN)
+					want, err := os.ReadFile(path)
+					if err != nil {
+						t.Fatalf("wire fixture missing (run with -update-golden-wire to create): %v", err)
+					}
+					if !wire.IsWire(want) {
+						t.Fatalf("%s does not start with the frame magic", path)
+					}
+
+					resp := wireGoldenRun(t, id, tp.topo, bench, wireFixtureN)
+					got, err := wire.EncodeRunResult(resp)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Errorf("encoded frame differs from %s (%d vs %d bytes)\n"+
+							"If the format change is intended, refresh with: go test -run TestGoldenWireFixtures -update-golden-wire .",
+							path, len(got), len(want))
+					}
+
+					dec, err := wire.DecodeRunResult(want)
+					if err != nil {
+						t.Fatalf("decoding committed fixture: %v", err)
+					}
+					key := fmt.Sprintf("%s/%s/n=%d", tp.name, bench, uint64(wireFixtureN))
+					wantHash, ok := golden[key]
+					if !ok {
+						t.Fatalf("no golden hash for %s", key)
+					}
+					if got := respHash(t, dec); got != wantHash {
+						t.Errorf("fixture decodes to ResultHash %s, golden corpus pins %s", got, wantHash)
+					}
+
+					reenc, err := wire.EncodeRunResult(dec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(reenc, want) {
+						t.Error("re-encoding the decoded fixture is not byte-identical (encoding not canonical)")
+					}
+
+					h, err := wire.PeekHeader(want)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if h.Type != wire.TypeRunResult {
+						t.Errorf("fixture frame type = %#x, want TypeRunResult", h.Type)
+					}
+					if h.SummaryFloat() != dec.IPC {
+						t.Errorf("header summary %g != payload IPC %g (zero-decode peek would lie)", h.SummaryFloat(), dec.IPC)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestGoldenWireCrossPath is the acceptance gate for the whole wire change:
+// all 72 golden scenarios, simulated once each, must reach the same
+// ResultHash through three views — the response struct itself, a JSON
+// round-trip (the debug/fallback path), and a binary frame round-trip (the
+// serving path) — and that hash must equal the pinned golden fixture.
+func TestGoldenWireCrossPath(t *testing.T) {
+	if *updateGoldenWire {
+		t.Skip("updating")
+	}
+	for _, id := range wireGoldenModels {
+		id := id
+		golden := readGoldenHashes(t, id)
+		for _, tp := range wireGoldenTopologies {
+			tp := tp
+			for _, bench := range wireGoldenBenchmarks {
+				bench := bench
+				for _, n := range wireGoldenCounts {
+					n := n
+					key := fmt.Sprintf("%s/%s/n=%d", tp.name, bench, n)
+					t.Run(fmt.Sprintf("%s/%s", id, key), func(t *testing.T) {
+						t.Parallel()
+						wantHash, ok := golden[key]
+						if !ok {
+							t.Fatalf("no golden hash for %s", key)
+						}
+						resp := wireGoldenRun(t, id, tp.topo, bench, n)
+						if got := respHash(t, resp); got != wantHash {
+							t.Fatalf("simulator drifted before encoding: %s vs golden %s", got, wantHash)
+						}
+
+						// JSON path (the debug/fallback view).
+						raw, err := json.Marshal(resp)
+						if err != nil {
+							t.Fatal(err)
+						}
+						var viaJSON hetwire.RunResponse
+						if err := json.Unmarshal(raw, &viaJSON); err != nil {
+							t.Fatal(err)
+						}
+						jsonHash := respHash(t, &viaJSON)
+
+						// Binary path (the wire).
+						frame, err := wire.EncodeRunResult(resp)
+						if err != nil {
+							t.Fatal(err)
+						}
+						viaWire, err := wire.DecodeRunResult(frame)
+						if err != nil {
+							t.Fatal(err)
+						}
+						wireHash := respHash(t, viaWire)
+
+						if jsonHash != wantHash {
+							t.Errorf("JSON path ResultHash %s != golden %s", jsonHash, wantHash)
+						}
+						if wireHash != wantHash {
+							t.Errorf("binary path ResultHash %s != golden %s", wireHash, wantHash)
+						}
+
+						reenc, err := wire.EncodeRunResult(viaWire)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !bytes.Equal(reenc, frame) {
+							t.Error("decode∘encode is not the identity on this scenario")
+						}
+					})
+				}
+			}
+		}
+	}
+}
