@@ -191,7 +191,9 @@ func TestBatchExecuteCancellation(t *testing.T) {
 func TestBatchExecuteDeadline(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
 	defer cancel()
-	time.Sleep(2 * time.Millisecond) // let it expire
+	// Wait for the cancel goroutine to actually run, not just the deadline
+	// to pass — on a loaded host ctx.Err() can lag the wall clock.
+	<-ctx.Done()
 	req := BatchRequest{
 		Sweep:       &BatchSweep{Models: []string{"I"}, Benchmarks: []string{"gcc"}, Ns: []uint64{4_000}},
 		Parallelism: 1,

@@ -20,12 +20,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"time"
 
 	"hetwire"
+	"hetwire/internal/client"
 	"hetwire/internal/config"
+	"hetwire/internal/server"
+	"hetwire/internal/tenant"
 	"hetwire/internal/wire"
 )
 
@@ -69,6 +74,28 @@ type Report struct {
 	// Wire measures the hetwire-bin/v1 result path: frame encode/decode
 	// throughput and the zero-copy cache-hit serve cost.
 	Wire *WireCost `json:"wire,omitempty"`
+	// QoSOverhead compares the weighted-fair scheduler against the plain
+	// FIFO queue on an identical job stream; the fair path is required to
+	// stay within low single digits of FIFO.
+	QoSOverhead *QoSOverhead `json:"qos_overhead,omitempty"`
+}
+
+// QoSOverhead is the fair-scheduler-on vs scheduler-off cost readout: the
+// same stream of single-scenario jobs pushed through a live daemon once
+// under the FIFO queue and once under the weighted-fair scheduler with two
+// competing tenants. All jobs ride the interactive lane so both
+// configurations keep every worker busy and the delta isolates dispatch
+// bookkeeping (per-tenant queues, vtime accounting, CPU billing), not the
+// bulk-lane reservation policy.
+type QoSOverhead struct {
+	Jobs       int     `json:"jobs"`
+	Workers    int     `json:"workers"`
+	N          uint64  `json:"n"`
+	FIFOWallMS float64 `json:"fifo_wall_ms"`
+	FairWallMS float64 `json:"fair_wall_ms"`
+	// OverheadPct is how much slower the fair-scheduled stream was, in
+	// percent of the FIFO wall clock (negative means faster — noise).
+	OverheadPct float64 `json:"overhead_pct"`
 }
 
 // WireCost is the binary result-path cost readout, taken on a real frame
@@ -278,6 +305,114 @@ func measureBatch(count uint64) (*BatchThroughput, error) {
 	return bt, nil
 }
 
+// qosPass pushes the job stream through one daemon configuration and times
+// submission-to-last-completion. Distinct budgets per job defeat the result
+// cache, so every job simulates.
+func qosPass(fifo bool, workers int, ns []uint64) (time.Duration, error) {
+	opts := server.Options{Workers: workers, QueueDepth: len(ns) + 8, FIFOScheduler: fifo}
+	keys := []string{""}
+	if !fifo {
+		// Two competing tenants make the fair path do real work: separate
+		// queues, weight-scaled vtime updates, per-tenant accounting.
+		opts.Tenants = &tenant.Config{Tenants: []tenant.Spec{
+			{Name: "alpha", Key: "qos-alpha", Weight: 3},
+			{Name: "beta", Key: "qos-beta", Weight: 1},
+		}}
+		keys = []string{"qos-alpha", "qos-beta"}
+	}
+	s := server.New(opts)
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		s.Shutdown(ctx)
+		ts.Close()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	clients := make([]*client.Client, len(keys))
+	for i, key := range keys {
+		clients[i] = client.New(client.Options{BaseURL: ts.URL, TenantKey: key})
+	}
+	runtime.GC()
+	start := time.Now()
+	ids := make([]string, len(ns))
+	for i, n := range ns {
+		var st server.JobStatus
+		if err := clients[i%len(clients)].DoJSON(ctx, http.MethodPost, "/v1/jobs",
+			map[string]any{"benchmark": "gcc", "n": n}, "", &st); err != nil {
+			return 0, err
+		}
+		ids[i] = st.ID
+	}
+	for i, id := range ids {
+		st, err := clients[i%len(clients)].Await(ctx, id, 2*time.Millisecond)
+		if err != nil {
+			return 0, err
+		}
+		if st.State != server.StateDone {
+			return 0, fmt.Errorf("qos pass job %s ended %s: %s", id, st.State, st.Error)
+		}
+	}
+	return time.Since(start), nil
+}
+
+// measureQoS times the identical job stream under FIFO and under the
+// weighted-fair scheduler, best of three passes each.
+func measureQoS(count uint64) (*QoSOverhead, error) {
+	const jobs = 24
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 4 {
+		workers = 4
+	}
+	per := count / 2
+	if per < 1_000 {
+		per = 1_000
+	}
+	// Warm the workload memo cache so neither configuration pays the
+	// one-time benchmark build.
+	if _, err := qosPass(true, workers, []uint64{1_000}); err != nil {
+		return nil, err
+	}
+	// Interleave the passes (fifo, fair, fifo, fair, ...) and keep each
+	// side's best: back-to-back alternation cancels slow host drift
+	// (thermal, heap growth) that a run-all-of-one-then-the-other order
+	// would charge entirely to whichever side went second.
+	var fifoWall, fairWall time.Duration
+	for round := 0; round < 3; round++ {
+		for _, fifo := range []bool{true, false} {
+			// Fresh budgets every pass: a shared prefix would hit the new
+			// server's empty cache anyway, but distinct values also keep the
+			// two configurations' workloads byte-for-byte symmetric.
+			ns := make([]uint64, jobs)
+			for j := range ns {
+				ns[j] = per + uint64(round*jobs+j)
+			}
+			wall, err := qosPass(fifo, workers, ns)
+			if err != nil {
+				return nil, err
+			}
+			if fifo {
+				if fifoWall == 0 || wall < fifoWall {
+					fifoWall = wall
+				}
+			} else if fairWall == 0 || wall < fairWall {
+				fairWall = wall
+			}
+		}
+	}
+	return &QoSOverhead{
+		Jobs:       jobs,
+		Workers:    workers,
+		N:          per,
+		FIFOWallMS: float64(fifoWall) / float64(time.Millisecond),
+		FairWallMS: float64(fairWall) / float64(time.Millisecond),
+		OverheadPct: (fairWall.Seconds() - fifoWall.Seconds()) /
+			fifoWall.Seconds() * 100,
+	}, nil
+}
+
 // measureWire simulates one scenario, then times the binary result path on
 // its frame: encode throughput, decode throughput, and the cache-hit serve
 // operation (PeekHeader + copy, exactly the daemon's hit path).
@@ -398,6 +533,15 @@ func main() {
 	rep.Wire = wc
 	fmt.Fprintf(os.Stderr, "wire frame %d B encode %7.1f MB/s decode %7.1f MB/s cache-hit serve %6.1f ns/op\n",
 		wc.FrameBytes, wc.EncodeMBPerSec, wc.DecodeMBPerSec, wc.CacheHitServeNsPerOp)
+
+	qo, err := measureQoS(count)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: qos overhead: %v\n", err)
+		os.Exit(1)
+	}
+	rep.QoSOverhead = qo
+	fmt.Fprintf(os.Stderr, "qos overhead %d jobs n=%-7d workers=%d fifo %8.1f ms fair %8.1f ms (%+.2f%%)\n",
+		qo.Jobs, qo.N, qo.Workers, qo.FIFOWallMS, qo.FairWallMS, qo.OverheadPct)
 
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

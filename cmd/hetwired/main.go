@@ -58,6 +58,7 @@ import (
 	"hetwire/internal/cluster/node"
 	"hetwire/internal/faultinject"
 	"hetwire/internal/server"
+	"hetwire/internal/tenant"
 )
 
 func main() {
@@ -89,6 +90,7 @@ func serve(args []string) {
 		leaseTTL   = fs.Duration("lease-ttl", 0, "work-lease deadline before re-dispatch (0 = coordinator default)")
 		nodeName   = fs.String("node-name", "", "node label reported at registration (default: hostname)")
 		leaseLog   = fs.String("lease-log", "", "node: append one JSONL record per completed lease to this file")
+		tenantsF   = fs.String("tenants", "", "tenant config file (JSON) enabling keyed multi-tenancy with weighted-fair scheduling; empty = open mode")
 	)
 	fs.Parse(args)
 
@@ -107,6 +109,18 @@ func serve(args []string) {
 	if *join != "" {
 		joinCluster(logger, *join, *token, *nodeName, *workers, *leaseSize, *leaseLog)
 		return
+	}
+	var tenantCfg *tenant.Config
+	if *tenantsF != "" {
+		raw, err := os.ReadFile(*tenantsF)
+		if err != nil {
+			logger.Fatalf("reading -tenants: %v", err)
+		}
+		tenantCfg, err = tenant.ParseConfig(raw)
+		if err != nil {
+			logger.Fatalf("parsing -tenants %s: %v", *tenantsF, err)
+		}
+		logger.Printf("multi-tenancy on: %d configured tenants (+anonymous)", len(tenantCfg.Tenants))
 	}
 	var clusterOpts *server.ClusterOptions
 	if *coord {
@@ -129,6 +143,7 @@ func serve(args []string) {
 		Faults:            injector,
 		Logger:            reqLogger,
 		Cluster:           clusterOpts,
+		Tenants:           tenantCfg,
 	})
 	srv.Metrics().SetBuildInfo(buildVersion(), runtime.Version())
 
@@ -270,6 +285,7 @@ func runClient(args []string) {
 		timeout    = fs.Duration("timeout", 5*time.Minute, "overall client timeout")
 		attempts   = fs.Int("retries", 6, "max attempts per API operation")
 		traceID    = fs.String("trace", "", "trace ID to stamp on every request (default: minted)")
+		tenantKey  = fs.String("tenant-key", os.Getenv("HETWIRE_TENANT_KEY"), "tenant API key sent as X-Hetwire-Tenant (default $HETWIRE_TENANT_KEY)")
 	)
 	fs.Parse(args)
 	if *bench == "" {
@@ -283,7 +299,7 @@ func runClient(args []string) {
 		fmt.Fprintf(os.Stderr, "hetwired run: %v\n", err)
 		os.Exit(2)
 	}
-	cl := client.New(client.Options{BaseURL: *serverURL, MaxAttempts: *attempts, TraceID: *traceID})
+	cl := client.New(client.Options{BaseURL: *serverURL, MaxAttempts: *attempts, TraceID: *traceID, TenantKey: *tenantKey})
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 

@@ -25,17 +25,33 @@ import (
 	"sync"
 )
 
-// TokenPool is a counting semaphore of CPU execution slots.
+// TokenPool is a counting semaphore of CPU execution slots with two waiter
+// lanes: a released token goes to the oldest interactive-lane waiter first,
+// then the oldest bulk waiter. Bulk work (sweeps, batches) acquires and
+// releases a token per scenario, so an interactive job preempts a saturating
+// sweep at scenario granularity — it waits for at most one scenario to
+// finish, never for the whole sweep — without ever interrupting a running
+// simulation. Lane selection is a context mark (WithInteractive); unmarked
+// contexts wait in the bulk lane, which preserves pre-lane FIFO behaviour
+// for everything that doesn't opt in.
 type TokenPool struct {
-	ch chan struct{}
+	mu      sync.Mutex
+	size    int
+	free    int
+	waiters [2][]chan struct{} // FIFO per lane; index laneInteractive/laneBulk
 }
+
+const (
+	laneInteractive = 0
+	laneBulk        = 1
+)
 
 // NewTokenPool creates a pool of n tokens (minimum 1).
 func NewTokenPool(n int) *TokenPool {
 	if n < 1 {
 		n = 1
 	}
-	return &TokenPool{ch: make(chan struct{}, n)}
+	return &TokenPool{size: n, free: n}
 }
 
 // CPU is the process-wide pool, sized to GOMAXPROCS at startup: one token
@@ -43,33 +59,101 @@ func NewTokenPool(n int) *TokenPool {
 var CPU = NewTokenPool(runtime.GOMAXPROCS(0))
 
 // Cap reports the pool's token count.
-func (p *TokenPool) Cap() int { return cap(p.ch) }
+func (p *TokenPool) Cap() int { return p.size }
 
 // InUse reports how many tokens are currently held.
-func (p *TokenPool) InUse() int { return len(p.ch) }
+func (p *TokenPool) InUse() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.size - p.free
+}
 
 // Acquire takes a token, blocking until one is free or ctx is cancelled.
+// Contended tokens are granted interactive lane first, FIFO within a lane.
 func (p *TokenPool) Acquire(ctx context.Context) error {
-	// Fast path: a free token beats racing ctx in select's random choice,
-	// so an already-cancelled ctx still wins only when the pool is empty.
+	// A free token beats racing ctx, so an already-cancelled ctx still wins
+	// only when the pool is empty (pre-lane behaviour, kept).
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	select {
-	case p.ch <- struct{}{}:
-		return nil
-	default:
+	lane := laneBulk
+	if IsInteractive(ctx) {
+		lane = laneInteractive
 	}
+	p.mu.Lock()
+	if p.free > 0 {
+		p.free--
+		p.mu.Unlock()
+		return nil
+	}
+	ready := make(chan struct{})
+	p.waiters[lane] = append(p.waiters[lane], ready)
+	p.mu.Unlock()
+
 	select {
-	case p.ch <- struct{}{}:
+	case <-ready:
 		return nil
 	case <-ctx.Done():
+		p.mu.Lock()
+		removed := false
+		q := p.waiters[lane]
+		for i := range q {
+			if q[i] == ready {
+				p.waiters[lane] = append(q[:i], q[i+1:]...)
+				removed = true
+				break
+			}
+		}
+		p.mu.Unlock()
+		if !removed {
+			// Release raced us and granted the token to this waiter; hand it
+			// back so it isn't leaked.
+			<-ready
+			p.Release()
+		}
 		return ctx.Err()
 	}
 }
 
-// Release returns a token taken by Acquire.
-func (p *TokenPool) Release() { <-p.ch }
+// Release returns a token taken by Acquire, handing it directly to the
+// oldest interactive waiter, else the oldest bulk waiter, else the free pool.
+func (p *TokenPool) Release() {
+	p.mu.Lock()
+	var ready chan struct{}
+	for lane := laneInteractive; lane <= laneBulk; lane++ {
+		if q := p.waiters[lane]; len(q) > 0 {
+			ready = q[0]
+			p.waiters[lane] = q[1:]
+			break
+		}
+	}
+	if ready == nil {
+		if p.free == p.size {
+			p.mu.Unlock()
+			panic("batch: Release without a matching Acquire")
+		}
+		p.free++
+	}
+	p.mu.Unlock()
+	if ready != nil {
+		close(ready)
+	}
+}
+
+type interactiveKey struct{}
+
+// WithInteractive marks ctx as interactive-lane work: its token acquisitions
+// jump ahead of bulk waiters. The hetwired daemon marks single-scenario
+// ("run") jobs; sweeps and batches stay in the bulk lane.
+func WithInteractive(ctx context.Context) context.Context {
+	return context.WithValue(ctx, interactiveKey{}, true)
+}
+
+// IsInteractive reports whether ctx carries the interactive-lane mark.
+func IsInteractive(ctx context.Context) bool {
+	v, _ := ctx.Value(interactiveKey{}).(bool)
+	return v
+}
 
 type tokenKey struct{}
 

@@ -227,6 +227,62 @@ func TestTokenPool(t *testing.T) {
 	}
 }
 
+// TestTokenPoolPriorityLanes: with the pool exhausted, an interactive-lane
+// waiter that arrives AFTER a bulk waiter still gets the next released token;
+// the bulk waiter gets the one after.
+func TestTokenPoolPriorityLanes(t *testing.T) {
+	p := NewTokenPool(1)
+	ctx := context.Background()
+	if err := p.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	bulkGot := make(chan struct{})
+	go func() {
+		if err := p.Acquire(ctx); err == nil {
+			close(bulkGot)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // bulk waiter is queued first
+
+	interGot := make(chan struct{})
+	go func() {
+		if err := p.Acquire(WithInteractive(ctx)); err == nil {
+			close(interGot)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	p.Release()
+	select {
+	case <-interGot:
+	case <-bulkGot:
+		t.Fatal("bulk waiter preempted the interactive waiter")
+	case <-time.After(5 * time.Second):
+		t.Fatal("no waiter observed the release")
+	}
+	p.Release()
+	select {
+	case <-bulkGot:
+	case <-time.After(5 * time.Second):
+		t.Fatal("bulk waiter never got the second token")
+	}
+	p.Release()
+	if p.InUse() != 0 {
+		t.Fatalf("inuse = %d after releasing all, want 0", p.InUse())
+	}
+}
+
+func TestInteractiveMark(t *testing.T) {
+	ctx := context.Background()
+	if IsInteractive(ctx) {
+		t.Error("fresh context is interactive")
+	}
+	if !IsInteractive(WithInteractive(ctx)) {
+		t.Error("mark did not stick")
+	}
+}
+
 func TestRunRangeAddressesAbsoluteIndices(t *testing.T) {
 	var mu sync.Mutex
 	seen := make(map[int]bool)

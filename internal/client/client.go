@@ -63,6 +63,12 @@ type Options struct {
 	// on every request. The cluster node agent uses it to authenticate
 	// against a hetwired coordinator's /v1/cluster endpoints.
 	AuthToken string
+	// TenantKey, when non-empty, is sent as X-Hetwire-Tenant on every
+	// request, identifying this client's tenant to a multi-tenant daemon.
+	// The dedicated header (rather than Authorization) keeps tenant identity
+	// working against coordinators, where Authorization carries the cluster
+	// token.
+	TenantKey string
 }
 
 func (o Options) withDefaults() Options {
@@ -295,6 +301,9 @@ func (c *Client) StreamBatch(ctx context.Context, jobID string, fn func(*wire.Sc
 	if c.opts.AuthToken != "" {
 		req.Header.Set("Authorization", "Bearer "+c.opts.AuthToken)
 	}
+	if c.opts.TenantKey != "" {
+		req.Header.Set(server.TenantHeader, c.opts.TenantKey)
+	}
 	req.Header.Set(server.TraceHeader, c.opts.TraceID)
 	resp, err := c.opts.HTTPClient.Do(req)
 	if err != nil {
@@ -483,6 +492,9 @@ func (c *Client) once(ctx context.Context, call *apiCall, out any) (retryAfter t
 	}
 	if c.opts.AuthToken != "" {
 		req.Header.Set("Authorization", "Bearer "+c.opts.AuthToken)
+	}
+	if c.opts.TenantKey != "" {
+		req.Header.Set(server.TenantHeader, c.opts.TenantKey)
 	}
 	req.Header.Set(server.TraceHeader, c.opts.TraceID)
 	resp, err := c.opts.HTTPClient.Do(req)

@@ -106,6 +106,11 @@ type slot struct {
 type jobState struct {
 	id      string
 	traceID string
+	// tenant is the submitting tenant's name, stamped onto every lease the
+	// job produces so node-side lease logs attribute work to its tenant.
+	// Accounting (sim-CPU billing, fair-share charging) stays on the
+	// coordinator; the name on the wire is observability only.
+	tenant  string
 	slots   []slot
 	pending []int // sorted scenario indices awaiting a lease
 	open    int   // slots not yet in a terminal state
@@ -303,12 +308,13 @@ func (c *Coordinator) Lease(req *LeaseRequest) (*LeaseResponse, error) {
 			scenarios[i] = sl.req
 		}
 		c.stats.LeasesIssued++
-		c.opts.Logger.Printf("cluster lease issued id=%s job=%s node=%s range=[%d,%d) trace=%s",
-			ls.id, jobID, n.id, ls.start, ls.end, j.traceID)
+		c.opts.Logger.Printf("cluster lease issued id=%s job=%s node=%s range=[%d,%d) tenant=%s trace=%s",
+			ls.id, jobID, n.id, ls.start, ls.end, j.tenant, j.traceID)
 		return &LeaseResponse{Lease: &Lease{
 			ID:        ls.id,
 			JobID:     jobID,
 			TraceID:   j.traceID,
+			Tenant:    j.tenant,
 			Start:     ls.start,
 			End:       ls.end,
 			Scenarios: scenarios,
@@ -533,10 +539,11 @@ func (c *Coordinator) cacheGet(key string) ([]byte, bool) {
 	return c.opts.Cache.Get(key)
 }
 
-// Submit expands and registers a batch as a cluster job. The returned
+// Submit expands and registers a batch as a cluster job on behalf of the
+// named tenant ("" for pre-tenancy callers and open mode). The returned
 // channel closes when every scenario reaches a terminal state (or the job
 // is cancelled); collect the outcome with Take.
-func (c *Coordinator) Submit(batch *hetwire.BatchRequest, traceID string) (jobID string, done <-chan struct{}, err error) {
+func (c *Coordinator) Submit(batch *hetwire.BatchRequest, traceID, tenant string) (jobID string, done <-chan struct{}, err error) {
 	if err := batch.Validate(); err != nil {
 		return "", nil, err
 	}
@@ -546,6 +553,7 @@ func (c *Coordinator) Submit(batch *hetwire.BatchRequest, traceID string) (jobID
 	}
 	j := &jobState{
 		traceID: traceID,
+		tenant:  tenant,
 		slots:   make([]slot, len(reqs)),
 		pending: make([]int, len(reqs)),
 		open:    len(reqs),
@@ -567,7 +575,7 @@ func (c *Coordinator) Submit(batch *hetwire.BatchRequest, traceID string) (jobID
 	c.jobs[j.id] = j
 	c.jobOrder = append(c.jobOrder, j.id)
 	c.stats.JobsSubmitted++
-	c.opts.Logger.Printf("cluster job submitted id=%s scenarios=%d trace=%s", j.id, len(reqs), traceID)
+	c.opts.Logger.Printf("cluster job submitted id=%s scenarios=%d tenant=%s trace=%s", j.id, len(reqs), tenant, traceID)
 	return j.id, j.done, nil
 }
 

@@ -177,7 +177,7 @@ func TestLeaseShardsInCanonicalOrder(t *testing.T) {
 	clk := newFakeClock()
 	c := testCoordinator(t, clk, nil)
 	n1 := register(t, c, "a")
-	if _, done, err := c.Submit(testBatch(10), "t1"); err != nil || done == nil {
+	if _, done, err := c.Submit(testBatch(10), "t1", ""); err != nil || done == nil {
 		t.Fatalf("submit: %v", err)
 	}
 	l1 := mustLease(t, c, n1, 0)
@@ -205,7 +205,7 @@ func TestLeaseExpiryRedispatchesToAnotherNode(t *testing.T) {
 	c := testCoordinator(t, clk, nil)
 	n1 := register(t, c, "sick")
 	n2 := register(t, c, "healthy")
-	_, done, err := c.Submit(testBatch(4), "t2")
+	_, done, err := c.Submit(testBatch(4), "t2", "")
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
@@ -258,7 +258,7 @@ func TestDeadNodeLeasesExpireImmediately(t *testing.T) {
 	})
 	n1 := register(t, c, "doomed")
 	n2 := register(t, c, "survivor")
-	if _, _, err := c.Submit(testBatch(4), ""); err != nil {
+	if _, _, err := c.Submit(testBatch(4), "", ""); err != nil {
 		t.Fatalf("submit: %v", err)
 	}
 	mustLease(t, c, n1, 0)
@@ -284,7 +284,7 @@ func TestFederatedCacheFillsSkippedSlots(t *testing.T) {
 	cache := newMemCache()
 	c := testCoordinator(t, clk, cache)
 	n1 := register(t, c, "a")
-	_, done, err := c.Submit(testBatch(2), "")
+	_, done, err := c.Submit(testBatch(2), "", "")
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
@@ -353,7 +353,7 @@ func TestEvictedCacheEntryRequeuesSkippedIndex(t *testing.T) {
 	cache := newMemCache()
 	c := testCoordinator(t, clk, cache)
 	n1 := register(t, c, "a")
-	if _, _, err := c.Submit(testBatch(1), ""); err != nil {
+	if _, _, err := c.Submit(testBatch(1), "", ""); err != nil {
 		t.Fatalf("submit: %v", err)
 	}
 	lease := mustLease(t, c, n1, 0)
@@ -382,7 +382,7 @@ func TestUploadRejectsMalformedResults(t *testing.T) {
 	clk := newFakeClock()
 	c := testCoordinator(t, clk, nil)
 	n1 := register(t, c, "a")
-	if _, _, err := c.Submit(testBatch(2), ""); err != nil {
+	if _, _, err := c.Submit(testBatch(2), "", ""); err != nil {
 		t.Fatalf("submit: %v", err)
 	}
 	lease := mustLease(t, c, n1, 0)
@@ -419,7 +419,7 @@ func TestScenarioErrorsIsolateToTheirSlots(t *testing.T) {
 	clk := newFakeClock()
 	c := testCoordinator(t, clk, nil)
 	n1 := register(t, c, "a")
-	_, done, err := c.Submit(testBatch(2), "")
+	_, done, err := c.Submit(testBatch(2), "", "")
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
@@ -449,7 +449,7 @@ func TestCancelResolvesOpenSlots(t *testing.T) {
 	clk := newFakeClock()
 	c := testCoordinator(t, clk, nil)
 	n1 := register(t, c, "a")
-	jobID, done, err := c.Submit(testBatch(3), "")
+	jobID, done, err := c.Submit(testBatch(3), "", "")
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
@@ -488,11 +488,11 @@ func TestOldestJobLeasesFirst(t *testing.T) {
 	clk := newFakeClock()
 	c := testCoordinator(t, clk, nil)
 	n1 := register(t, c, "a")
-	j1, _, err := c.Submit(testBatch(2), "")
+	j1, _, err := c.Submit(testBatch(2), "", "")
 	if err != nil {
 		t.Fatalf("submit 1: %v", err)
 	}
-	j2, _, err := c.Submit(testBatch(2), "")
+	j2, _, err := c.Submit(testBatch(2), "", "")
 	if err != nil {
 		t.Fatalf("submit 2: %v", err)
 	}
@@ -526,7 +526,7 @@ func TestStragglerUploadWhilePendingRetiresQueueEntry(t *testing.T) {
 	c := testCoordinator(t, clk, nil)
 	n1 := register(t, c, "slow")
 	n2 := register(t, c, "healthy")
-	_, done, err := c.Submit(testBatch(4), "")
+	_, done, err := c.Submit(testBatch(4), "", "")
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
@@ -583,7 +583,7 @@ func TestStaleErrorDoesNotFailSlot(t *testing.T) {
 	c := testCoordinator(t, clk, nil)
 	n1 := register(t, c, "flaky")
 	n2 := register(t, c, "healthy")
-	_, done, err := c.Submit(testBatch(2), "")
+	_, done, err := c.Submit(testBatch(2), "", "")
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
@@ -637,7 +637,7 @@ func TestStaleSkipMarkerDoesNotDuplicatePendingIndex(t *testing.T) {
 	c := testCoordinator(t, clk, cache)
 	n1 := register(t, c, "slow")
 	n2 := register(t, c, "healthy")
-	_, done, err := c.Submit(testBatch(2), "")
+	_, done, err := c.Submit(testBatch(2), "", "")
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}

@@ -272,6 +272,7 @@ func (a *agent) runLease(ctx context.Context, lease *cluster.Lease) error {
 	}
 	ev := obs.LeaseEvent{
 		TraceID: lease.TraceID,
+		Tenant:  lease.Tenant,
 		JobID:   lease.JobID,
 		LeaseID: lease.ID,
 		Node:    a.id(),

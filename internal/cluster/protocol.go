@@ -151,6 +151,11 @@ type Lease struct {
 	// the node stamps it into the simulation context and its lease events so
 	// one sweep can be followed coordinator -> node -> simulator.
 	TraceID string `json:"trace_id,omitempty"`
+	// Tenant names the tenant the originating job was submitted by; the node
+	// copies it into its lease events so node-side logs attribute work to
+	// tenants. Empty for pre-tenancy coordinators and open mode (the field is
+	// additive — old nodes ignore it, old coordinators omit it).
+	Tenant string `json:"tenant,omitempty"`
 	// Start (inclusive) and End (exclusive) bound the absolute scenario
 	// indices this lease covers.
 	Start int `json:"start"`

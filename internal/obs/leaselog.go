@@ -22,6 +22,10 @@ const LeaseSchema = "hetwire-lease/v1"
 type LeaseEvent struct {
 	Schema  string `json:"schema"`
 	TraceID string `json:"trace_id,omitempty"`
+	// Tenant names the tenant the lease's originating job belongs to, as
+	// reported by the coordinator; empty when the cluster predates tenancy
+	// or runs in open mode.
+	Tenant  string `json:"tenant,omitempty"`
 	JobID   string `json:"job_id"`
 	LeaseID string `json:"lease_id"`
 	// Node is the coordinator-assigned node identity that ran the lease.

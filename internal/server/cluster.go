@@ -239,7 +239,7 @@ func (s *Server) handleClusterNodes(w http.ResponseWriter, _ *http.Request) {
 // no node identity, and embed the uploaded result frames verbatim — so the
 // golden corpus reproduces exactly through either path.
 func (s *Server) runClusterBatch(job *Job) ([]byte, bool, error) {
-	jobID, done, err := s.coord.Submit(job.Batch, job.TraceID)
+	jobID, done, err := s.coord.Submit(job.Batch, job.TraceID, job.tenant.Name())
 	if err != nil {
 		return nil, false, err
 	}
@@ -263,6 +263,13 @@ func (s *Server) runClusterBatch(job *Job) ([]byte, bool, error) {
 		var ptErr error
 		if out.Error != "" {
 			ptErr = errors.New(out.Error)
+		}
+		// Freshly simulated scenarios entered the federated cache via node
+		// upload rather than the local fill path, so insert attribution
+		// happens here: cached outcomes were already resident (someone else
+		// paid for them).
+		if ptErr == nil && !out.Cached {
+			job.tenant.AddCacheBytes(int64(len(frames[i])))
 		}
 		job.progress.finishPoint(i, out.IPC, out.Cached, ptErr, 0)
 		job.progress.publishFrame(i, frames[i])

@@ -61,10 +61,14 @@ type clusterHarness struct {
 	ts  *httptest.Server
 }
 
-func startCoordinator(t *testing.T, co server.ClusterOptions) *clusterHarness {
+func startCoordinator(t *testing.T, co server.ClusterOptions, mods ...func(*server.Options)) *clusterHarness {
 	t.Helper()
 	co.Token = testClusterToken
-	s := server.New(server.Options{Workers: 2, Cluster: &co})
+	opts := server.Options{Workers: 2, Cluster: &co}
+	for _, mod := range mods {
+		mod(&opts)
+	}
+	s := server.New(opts)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -91,8 +95,13 @@ func (h *clusterHarness) startNode(ctx context.Context, name string, onLease fun
 
 // runBatch submits a batch job through the public API and awaits its result.
 func (h *clusterHarness) runBatch(ctx context.Context, idemKey string, b *hetwire.BatchRequest) *hetwire.BatchResponse {
+	return h.runBatchAs(ctx, idemKey, "", b)
+}
+
+// runBatchAs is runBatch under a tenant API key (empty key: anonymous).
+func (h *clusterHarness) runBatchAs(ctx context.Context, idemKey, tenantKey string, b *hetwire.BatchRequest) *hetwire.BatchResponse {
 	h.t.Helper()
-	cl := client.New(client.Options{BaseURL: h.ts.URL})
+	cl := client.New(client.Options{BaseURL: h.ts.URL, TenantKey: tenantKey})
 	var st server.JobStatus
 	if err := cl.DoJSON(ctx, http.MethodPost, "/v1/jobs",
 		map[string]any{"batch": b}, idemKey, &st); err != nil {

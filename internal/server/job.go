@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"hetwire"
+	"hetwire/internal/batch"
+	"hetwire/internal/tenant"
 	"hetwire/internal/wire"
 )
 
@@ -44,12 +46,20 @@ type Job struct {
 	// (client-minted or daemon-minted); immutable after submission.
 	TraceID string
 
+	// tenant is the resolved submitting tenant (never nil) and lane its
+	// scheduler class; both are immutable after submission.
+	tenant *tenant.Tenant
+	lane   jobLane
+	// dispatchedBulk marks a job occupying one of the scheduler's bounded
+	// bulk-dispatch slots; owned by the fairQueue (mutated under its lock).
+	dispatchedBulk bool
+
 	ctx      context.Context
 	cancel   context.CancelFunc
-	done     chan struct{} // closed on reaching a terminal state
-	idemKey  string        // Idempotency-Key the job was submitted under, if any
-	deadline time.Duration // wall-clock budget from submission
-	spans    *spanRecorder // per-phase timings, base = submission time
+	done     chan struct{}  // closed on reaching a terminal state
+	idemKey  string         // tenant-scoped idempotency key, if any
+	deadline time.Duration  // wall-clock budget from submission
+	spans    *spanRecorder  // per-phase timings, base = submission time
 	progress *batchProgress // per-scenario progress, batch jobs only
 
 	mu         sync.Mutex
@@ -71,8 +81,16 @@ type Job struct {
 // context.WithTimeout. The trace ID is carried both on the record (status,
 // logs) and in the job context (hetwire.TraceIDFrom), so code running under
 // the worker can label its output without reaching back to the server.
-func newJob(parent context.Context, id, kind, traceID string, deadline time.Duration, now time.Time) *Job {
+// Interactive-lane jobs additionally mark their context for the CPU-token
+// pool's fast lane, so a run job preempts bulk sweeps at scenario
+// granularity once a worker picks it up.
+func newJob(parent context.Context, id, kind, traceID string, tn *tenant.Tenant, deadline time.Duration, now time.Time) *Job {
 	parent = hetwire.WithTraceID(parent, traceID)
+	parent = tenant.NewContext(parent, tn)
+	lane := laneOf(kind)
+	if lane == laneInteractive {
+		parent = batch.WithInteractive(parent)
+	}
 	var ctx context.Context
 	var cancel context.CancelFunc
 	if deadline > 0 {
@@ -84,6 +102,8 @@ func newJob(parent context.Context, id, kind, traceID string, deadline time.Dura
 		ID:        id,
 		Kind:      kind,
 		TraceID:   traceID,
+		tenant:    tn,
+		lane:      lane,
 		ctx:       ctx,
 		cancel:    cancel,
 		done:      make(chan struct{}),
@@ -178,8 +198,13 @@ func (j *Job) State() JobState {
 
 // JobStatus is the JSON view of a job served by the jobs endpoints.
 type JobStatus struct {
-	ID       string   `json:"id"`
-	Kind     string   `json:"kind"`
+	ID   string `json:"id"`
+	Kind string `json:"kind"`
+	// Tenant is the resolved tenant the job was submitted by ("anonymous"
+	// for keyless submissions); Lane is its scheduler class ("interactive"
+	// for single-scenario runs, "bulk" for sweeps and batches).
+	Tenant   string   `json:"tenant,omitempty"`
+	Lane     string   `json:"lane,omitempty"`
 	State    JobState `json:"state"`
 	CacheHit bool     `json:"cache_hit,omitempty"`
 	IPC      float64  `json:"ipc,omitempty"`
@@ -214,6 +239,8 @@ func (j *Job) Status(withResult bool) JobStatus {
 	st := JobStatus{
 		ID:         j.ID,
 		Kind:       j.Kind,
+		Tenant:     j.tenant.Name(),
+		Lane:       j.lane.String(),
 		State:      j.state,
 		CacheHit:   j.cacheHit,
 		IPC:        j.ipc,
@@ -291,46 +318,6 @@ var (
 	ErrQueueFull = errors.New("server: job queue is full")
 	ErrDraining  = errors.New("server: draining, not accepting jobs")
 )
-
-// jobQueue is a bounded FIFO of jobs. Closing it (drain) makes further
-// pushes fail while workers finish what is already queued.
-type jobQueue struct {
-	mu     sync.Mutex
-	ch     chan *Job
-	closed bool
-}
-
-func newJobQueue(depth int) *jobQueue {
-	return &jobQueue{ch: make(chan *Job, depth)}
-}
-
-// push enqueues without blocking; ErrQueueFull when at capacity and
-// ErrDraining after close.
-func (q *jobQueue) push(j *Job) error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.closed {
-		return ErrDraining
-	}
-	select {
-	case q.ch <- j:
-		return nil
-	default:
-		return ErrQueueFull
-	}
-}
-
-// close stops intake; queued jobs remain for workers to drain.
-func (q *jobQueue) close() {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if !q.closed {
-		q.closed = true
-		close(q.ch)
-	}
-}
-
-func (q *jobQueue) depth() int { return len(q.ch) }
 
 // SweepRequest asks for the cross product of models x benchmarks x
 // instruction counts, executed as one job. Every point goes through the

@@ -10,6 +10,7 @@ import (
 
 	"hetwire/internal/cluster"
 	"hetwire/internal/stats"
+	"hetwire/internal/tenant"
 )
 
 // latency histogram geometry: 1ms buckets up to 50ms, overflow beyond.
@@ -32,6 +33,11 @@ const (
 	// from the bounded hetwire.Reason* code set plus the daemon's own
 	// backpressure classes.
 	maxRejectReasons = 16
+	// maxTenantLabels caps distinct tenant labels in the hetwired_tenant_*
+	// series; tenants past the cap (name order) are summed into the overflow
+	// label. The registry itself allows up to tenant.MaxTenants configured
+	// tenants, so a large fleet folds rather than bloating every scrape.
+	maxTenantLabels = 64
 	// overflowLabel absorbs observations past a cardinality cap.
 	overflowLabel = "other"
 )
@@ -80,6 +86,13 @@ type Metrics struct {
 	// coordinator's counters at render time; nil omits the cluster section
 	// entirely, keeping non-coordinator expositions unchanged.
 	clusterStats func() cluster.Stats
+
+	// tenantStats, when set (a -tenants file was configured), supplies the
+	// per-tenant counter snapshots at render time; nil omits the
+	// hetwired_tenant_* section, keeping open-mode expositions unchanged.
+	tenantStats func() []tenant.Snapshot
+	// loadShedTotal counts load-shed engagements by the overload watchdog.
+	loadShedTotal atomic.Uint64
 
 	mu        sync.Mutex
 	endpoints map[string]*endpointMetrics
@@ -227,6 +240,7 @@ func (m *Metrics) render(w io.Writer, queueDepth int, draining bool, cs CacheSta
 	counter("hetwired_jobs_panicked_total", "Jobs failed by a contained worker panic.", m.jobsPanicked.Load())
 	m.renderRejections(w)
 	counter("hetwired_workers_respawned_total", "Workers respawned after a panic escaped a job.", m.workersRespawned.Load())
+	counter("hetwired_load_shed_engaged_total", "Times the overload watchdog engaged load-shed mode.", m.loadShedTotal.Load())
 
 	fmt.Fprintf(w, "# HELP hetwired_jobs Jobs currently in a live state.\n# TYPE hetwired_jobs gauge\n")
 	fmt.Fprintf(w, "hetwired_jobs{state=\"queued\"} %d\n", queueDepth)
@@ -271,6 +285,7 @@ func (m *Metrics) render(w io.Writer, queueDepth int, draining bool, cs CacheSta
 	}
 
 	m.renderCluster(w)
+	m.renderTenants(w)
 	m.renderPhases(w)
 	m.renderEndpoints(w)
 }
@@ -279,6 +294,82 @@ func (m *Metrics) render(w io.Writer, queueDepth int, draining bool, cs CacheSta
 // exposition. Call once before serving (coordinator mode only).
 func (m *Metrics) SetClusterStats(fn func() cluster.Stats) {
 	m.clusterStats = fn
+}
+
+// SetTenantStats wires the tenant registry's snapshot into the exposition.
+// Call once before serving (tenancy-configured mode only).
+func (m *Metrics) SetTenantStats(fn func() []tenant.Snapshot) {
+	m.tenantStats = fn
+}
+
+// renderTenants emits the hetwired_tenant_* series from the registry
+// snapshot. Snapshots arrive in name order; tenants past maxTenantLabels
+// are summed into the overflow label so the exposition stays bounded no
+// matter how many tenants are configured.
+func (m *Metrics) renderTenants(w io.Writer) {
+	if m.tenantStats == nil {
+		return
+	}
+	snaps := m.tenantStats()
+	if len(snaps) > maxTenantLabels {
+		head := snaps[:maxTenantLabels-1]
+		over := tenant.Snapshot{Name: overflowLabel, Rejected: make(map[string]uint64)}
+		for _, sn := range snaps[maxTenantLabels-1:] {
+			over.SimCPU += sn.SimCPU
+			over.Queued += sn.Queued
+			over.InFlight += sn.InFlight
+			over.CacheBytes += sn.CacheBytes
+			over.Submitted += sn.Submitted
+			over.Done += sn.Done
+			over.Failed += sn.Failed
+			over.Cancelled += sn.Cancelled
+			for r, n := range sn.Rejected {
+				over.Rejected[r] += n
+			}
+		}
+		snaps = append(append(make([]tenant.Snapshot, 0, maxTenantLabels), head...), over)
+	}
+
+	fmt.Fprintf(w, "# HELP hetwired_tenant_weight Configured scheduler weight per tenant.\n# TYPE hetwired_tenant_weight gauge\n")
+	for _, sn := range snaps {
+		if sn.Name != overflowLabel {
+			fmt.Fprintf(w, "hetwired_tenant_weight{tenant=%q} %d\n", sn.Name, sn.Weight)
+		}
+	}
+	fmt.Fprintf(w, "# HELP hetwired_tenant_sim_cpu_seconds_total Simulation CPU seconds billed per tenant.\n# TYPE hetwired_tenant_sim_cpu_seconds_total counter\n")
+	for _, sn := range snaps {
+		fmt.Fprintf(w, "hetwired_tenant_sim_cpu_seconds_total{tenant=%q} %g\n", sn.Name, sn.SimCPU.Seconds())
+	}
+	fmt.Fprintf(w, "# HELP hetwired_tenant_jobs Live jobs per tenant by state.\n# TYPE hetwired_tenant_jobs gauge\n")
+	for _, sn := range snaps {
+		fmt.Fprintf(w, "hetwired_tenant_jobs{tenant=%q,state=\"queued\"} %d\n", sn.Name, sn.Queued)
+		fmt.Fprintf(w, "hetwired_tenant_jobs{tenant=%q,state=\"running\"} %d\n", sn.Name, sn.InFlight)
+	}
+	fmt.Fprintf(w, "# HELP hetwired_tenant_jobs_submitted_total Jobs accepted into the queue per tenant.\n# TYPE hetwired_tenant_jobs_submitted_total counter\n")
+	for _, sn := range snaps {
+		fmt.Fprintf(w, "hetwired_tenant_jobs_submitted_total{tenant=%q} %d\n", sn.Name, sn.Submitted)
+	}
+	fmt.Fprintf(w, "# HELP hetwired_tenant_jobs_total Terminal jobs per tenant by state.\n# TYPE hetwired_tenant_jobs_total counter\n")
+	for _, sn := range snaps {
+		fmt.Fprintf(w, "hetwired_tenant_jobs_total{tenant=%q,state=\"done\"} %d\n", sn.Name, sn.Done)
+		fmt.Fprintf(w, "hetwired_tenant_jobs_total{tenant=%q,state=\"failed\"} %d\n", sn.Name, sn.Failed)
+		fmt.Fprintf(w, "hetwired_tenant_jobs_total{tenant=%q,state=\"cancelled\"} %d\n", sn.Name, sn.Cancelled)
+	}
+	fmt.Fprintf(w, "# HELP hetwired_tenant_cache_bytes_inserted_total Result-cache bytes inserted on behalf of the tenant.\n# TYPE hetwired_tenant_cache_bytes_inserted_total counter\n")
+	for _, sn := range snaps {
+		fmt.Fprintf(w, "hetwired_tenant_cache_bytes_inserted_total{tenant=%q} %d\n", sn.Name, sn.CacheBytes)
+	}
+	fmt.Fprintf(w, "# HELP hetwired_tenant_rejected_total Submissions rejected per tenant, by machine-readable reason.\n# TYPE hetwired_tenant_rejected_total counter\n")
+	for _, sn := range snaps {
+		reasons := make([]string, 0, len(sn.Rejected))
+		for r := range sn.Rejected {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		for _, r := range reasons {
+			fmt.Fprintf(w, "hetwired_tenant_rejected_total{tenant=%q,reason=%q} %d\n", sn.Name, r, sn.Rejected[r])
+		}
+	}
 }
 
 // renderRejections emits the per-reason rejection counters. The total line is

@@ -1,0 +1,158 @@
+// Golden-corpus determinism through the weighted-fair scheduler: the QoS
+// layer reorders only which job starts next, so result bytes must be
+// bit-identical to single-process execution under every weight/lane
+// configuration — and under coordinator mode with tenant-tagged leases.
+// External test package for the same reason as cluster_test.go: the client
+// used to drive the daemon imports internal/server.
+package server_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"hetwire"
+	"hetwire/internal/client"
+	"hetwire/internal/cluster"
+	"hetwire/internal/server"
+	"hetwire/internal/tenant"
+)
+
+// startDaemon runs a plain (non-cluster) daemon wrapped in the cluster
+// harness type so runBatchAs works against it.
+func startDaemon(t *testing.T, opts server.Options) *clusterHarness {
+	t.Helper()
+	s := server.New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		ts.Close()
+	})
+	return &clusterHarness{t: t, srv: s, ts: ts}
+}
+
+// TestFairSchedulerGoldenCorpus runs the 72-scenario corpus through the fair
+// scheduler at two different weight/lane configurations and requires
+// bit-identity with the single-process baseline each time. Scheduling
+// fairness must never leak into result bytes.
+func TestFairSchedulerGoldenCorpus(t *testing.T) {
+	baseline := corpusLocal(t)
+	// Generous budgets: under -race on a small host the corpus plus the
+	// competing traffic can legitimately exceed the 2-minute default job
+	// deadline without anything being wrong.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	t.Run("weights_3_1_competing", func(t *testing.T) {
+		h := startDaemon(t, server.Options{
+			Workers: 4, QueueDepth: 32,
+			DefaultDeadline: 8 * time.Minute,
+			Tenants: &tenant.Config{Tenants: []tenant.Spec{
+				{Name: "alpha", Key: "key-alpha", Weight: 3},
+				{Name: "beta", Key: "key-beta", Weight: 1},
+			}},
+		})
+		// Both tenants race the same corpus through the scheduler; each must
+		// get the baseline bytes regardless of who is dispatched when.
+		var wg sync.WaitGroup
+		results := make([]*hetwire.BatchResponse, 2)
+		for i, key := range []string{"key-alpha", "key-beta"} {
+			wg.Add(1)
+			go func(i int, key string) {
+				defer wg.Done()
+				results[i] = h.runBatchAs(ctx, "corpus-"+key, key, goldenCorpusBatch())
+			}(i, key)
+		}
+		wg.Wait()
+		for i := range results {
+			requireBitIdentical(t, baseline, results[i])
+		}
+	})
+
+	t.Run("weights_1_8_with_interactive_traffic", func(t *testing.T) {
+		h := startDaemon(t, server.Options{
+			Workers: 4, QueueDepth: 64,
+			DefaultDeadline: 8 * time.Minute,
+			Tenants: &tenant.Config{Tenants: []tenant.Spec{
+				{Name: "alpha", Key: "key-alpha", Weight: 1},
+				{Name: "beta", Key: "key-beta", Weight: 8},
+			}},
+		})
+		// Interactive runs from alpha contend with beta's bulk corpus on the
+		// priority lanes while it executes. Closed loop — one outstanding run
+		// at a time — so the interactive lane stays busy without the submitter
+		// outpacing a slow (-race, single-core) host and starving the corpus
+		// outright.
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := client.New(client.Options{BaseURL: h.ts.URL, TenantKey: "key-alpha"})
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var st server.JobStatus
+				if err := cl.DoJSON(ctx, http.MethodPost, "/v1/jobs",
+					map[string]any{"benchmark": "gzip", "n": 30_000 + i}, "", &st); err == nil {
+					_, _ = cl.Await(ctx, st.ID, 5*time.Millisecond)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}()
+		out := h.runBatchAs(ctx, "corpus-lanes", "key-beta", goldenCorpusBatch())
+		close(stop)
+		wg.Wait()
+		requireBitIdentical(t, baseline, out)
+	})
+}
+
+// TestClusterTenantLeases runs the corpus through a two-node cluster on a
+// tenancy-enabled coordinator: results stay bit-identical and every lease
+// the nodes receive is tagged with the submitting tenant.
+func TestClusterTenantLeases(t *testing.T) {
+	baseline := corpusLocal(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	h := startCoordinator(t, server.ClusterOptions{LeaseSize: 8}, func(o *server.Options) {
+		o.DefaultDeadline = 8 * time.Minute
+		o.Tenants = &tenant.Config{Tenants: []tenant.Spec{
+			{Name: "alpha", Key: "key-alpha", Weight: 3},
+			{Name: "beta", Key: "key-beta", Weight: 1},
+		}}
+	})
+	var mu sync.Mutex
+	tenants := map[string]int{}
+	onLease := func(l *cluster.Lease) {
+		mu.Lock()
+		tenants[l.Tenant]++
+		mu.Unlock()
+	}
+	nodeCtx, stopNodes := context.WithCancel(ctx)
+	defer stopNodes()
+	h.startNode(nodeCtx, "node-a", onLease)
+	h.startNode(nodeCtx, "node-b", onLease)
+
+	out := h.runBatchAs(ctx, "corpus-tenant-leases", "key-alpha", goldenCorpusBatch())
+	requireBitIdentical(t, baseline, out)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(tenants) == 0 {
+		t.Fatal("nodes observed no leases")
+	}
+	for name, n := range tenants {
+		if name != "alpha" {
+			t.Errorf("%d leases tagged tenant %q, want alpha (alpha submitted the batch)", n, name)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hetwire"
@@ -40,6 +41,7 @@ import (
 	"hetwire/internal/cluster"
 	"hetwire/internal/config"
 	"hetwire/internal/faultinject"
+	"hetwire/internal/tenant"
 	"hetwire/internal/wire"
 )
 
@@ -68,6 +70,23 @@ type Options struct {
 	// rejections before any job has completed, when no observed latency
 	// exists to estimate drain time from (default 1s).
 	DefaultRetryAfter time.Duration
+	// Tenants, when set, enables keyed multi-tenancy: requests resolve to
+	// configured tenants by API key and per-tenant limits apply. Nil is open
+	// mode — everything runs as the unlimited anonymous tenant.
+	Tenants *tenant.Config
+	// FIFOScheduler disables the weighted-fair scheduler in favour of the
+	// plain FIFO queue. A benchmarking knob (benchreport's qos_overhead row
+	// measures the fair path against this baseline); production keeps it off.
+	FIFOScheduler bool
+	// ShedHighWater, ShedLowWater, ShedWindow, and ShedInterval tune the
+	// overload watchdog: the queue staying at or above ShedHighWater x
+	// QueueDepth for ShedWindow engages load-shed mode (bulk submissions get
+	// 429 load_shed), cleared when depth falls to ShedLowWater x QueueDepth.
+	// Defaults: 0.9, 0.25, 2s, 100ms.
+	ShedHighWater float64
+	ShedLowWater  float64
+	ShedWindow    time.Duration
+	ShedInterval  time.Duration
 	// Faults optionally wires the deterministic fault-injection harness into
 	// the worker path (chaos tests, HETWIRE_FAULTS). Nil injects nothing.
 	Faults *faultinject.Injector
@@ -108,6 +127,18 @@ func (o Options) withDefaults() Options {
 	if o.DefaultRetryAfter <= 0 {
 		o.DefaultRetryAfter = time.Second
 	}
+	if o.ShedHighWater <= 0 || o.ShedHighWater > 1 {
+		o.ShedHighWater = 0.9
+	}
+	if o.ShedLowWater <= 0 || o.ShedLowWater >= o.ShedHighWater {
+		o.ShedLowWater = 0.25
+	}
+	if o.ShedWindow <= 0 {
+		o.ShedWindow = 2 * time.Second
+	}
+	if o.ShedInterval <= 0 {
+		o.ShedInterval = 100 * time.Millisecond
+	}
 	if o.Logger == nil {
 		o.Logger = log.New(discard{}, "", 0)
 	}
@@ -123,9 +154,13 @@ func (discard) Write(p []byte) (int, error) { return len(p), nil }
 type Server struct {
 	opts    Options
 	mux     *http.ServeMux
-	queue   *jobQueue
+	queue   *fairQueue
 	cache   *Cache
 	metrics *Metrics
+	tenants *tenant.Registry
+	// shed is the overload watchdog's latch: while set, bulk-lane
+	// submissions are rejected with reason load_shed.
+	shed atomic.Bool
 	// coord is the cluster coordinator; nil unless Options.Cluster was set.
 	coord        *cluster.Coordinator
 	clusterToken string
@@ -148,13 +183,17 @@ func New(opts Options) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:    opts,
-		queue:   newJobQueue(opts.QueueDepth),
+		queue:   newFairQueue(opts.QueueDepth, opts.Workers, opts.FIFOScheduler),
 		cache:   NewCache(opts.CacheBytes),
 		metrics: NewMetrics(opts.Workers, time.Now()),
+		tenants: tenant.NewRegistry(opts.Tenants),
 		baseCtx: ctx,
 		stop:    cancel,
 		jobs:    make(map[string]*Job),
 		idem:    make(map[string]string),
+	}
+	if opts.Tenants != nil {
+		s.metrics.SetTenantStats(s.tenants.Snapshots)
 	}
 	s.mux = http.NewServeMux()
 	s.route("POST", "/v1/run", s.handleRunSync)
@@ -185,6 +224,9 @@ func New(opts Options) *Server {
 		s.wg.Add(1)
 		go s.worker(i)
 	}
+	// The overload watchdog runs outside the worker WaitGroup: it exits on
+	// the base context, which Shutdown cancels after the workers drain.
+	go s.shedMonitor()
 	return s
 }
 
@@ -283,11 +325,13 @@ func (s *Server) worker(slot int) {
 			now := time.Now()
 			if current != nil {
 				current.finishPanic(r, stack, now)
+				s.queue.finished(current) // release the bulk-dispatch slot
+				current.tenant.CountTerminal(string(StateFailed))
 				s.metrics.jobsFailed.Add(1)
 				s.metrics.ObserveJobWall(now.Sub(current.Status(false).Submitted))
 				s.metrics.AddWorkerBusy(slot, now.Sub(busyStart))
-				s.opts.Logger.Printf("job id=%s kind=%s state=failed trace=%s panic=%q (worker respawning)",
-					current.ID, current.Kind, current.TraceID, fmt.Sprint(r))
+				s.opts.Logger.Printf("job id=%s kind=%s tenant=%s state=failed trace=%s panic=%q (worker respawning)",
+					current.ID, current.Kind, current.tenant.Name(), current.TraceID, fmt.Sprint(r))
 			} else {
 				s.opts.Logger.Printf("worker panic outside a job: %v (respawning)", r)
 			}
@@ -298,10 +342,15 @@ func (s *Server) worker(slot int) {
 		}
 		s.wg.Done()
 	}()
-	for job := range s.queue.ch {
+	for {
+		job, ok := s.queue.pop()
+		if !ok {
+			return
+		}
 		current = job
 		busyStart = time.Now()
 		s.runJob(job)
+		s.queue.finished(job)
 		s.metrics.AddWorkerBusy(slot, time.Since(busyStart))
 		current = nil
 	}
@@ -316,9 +365,11 @@ func (s *Server) runJob(job *Job) {
 	}
 	s.metrics.jobsRunning.Add(1)
 	s.metrics.workersBusy.Add(1)
+	job.tenant.IncInFlight()
 	defer func() {
 		s.metrics.jobsRunning.Add(-1)
 		s.metrics.workersBusy.Add(-1)
+		job.tenant.DecInFlight()
 	}()
 	start := time.Now()
 
@@ -364,10 +415,18 @@ func (s *Server) runJob(job *Job) {
 	for _, sp := range job.spans.snapshot() {
 		s.metrics.ObservePhase(sp.Name, time.Duration(sp.DurMS*float64(time.Millisecond)))
 	}
+	// Bill the tenant for the job's measured simulation time — sim_run for
+	// local execution, node_sim for scenarios that ran on cluster nodes — and
+	// fold the same charge into the fair scheduler's virtual time.
+	simCPU := job.spans.totalDur(spanSimRun, cluster.SpanSim)
+	job.tenant.AddSimCPU(simCPU)
+	job.tenant.CountTerminal(string(state))
+	s.queue.charge(job, simCPU)
 	st := job.Status(false)
 	s.metrics.ObserveJobWall(now.Sub(st.Submitted))
-	s.opts.Logger.Printf("job id=%s kind=%s state=%s trace=%s cache_hit=%t wall_ms=%.1f ipc=%.3f err=%q",
-		job.ID, job.Kind, state, job.TraceID, st.CacheHit, float64(now.Sub(start))/float64(time.Millisecond), st.IPC, st.Error)
+	s.opts.Logger.Printf("job id=%s kind=%s tenant=%s lane=%s state=%s trace=%s cache_hit=%t wall_ms=%.1f sim_cpu_ms=%.1f ipc=%.3f err=%q",
+		job.ID, job.Kind, job.tenant.Name(), job.lane, state, job.TraceID, st.CacheHit,
+		float64(now.Sub(start))/float64(time.Millisecond), float64(simCPU)/float64(time.Millisecond), st.IPC, st.Error)
 }
 
 // sleepCtx sleeps for d or until ctx is cancelled, whichever comes first —
@@ -432,6 +491,14 @@ func (s *Server) runCached(ctx context.Context, req *hetwire.RunRequest, spans *
 		encStart := time.Now()
 		b, err := wire.EncodeRunResult(resp)
 		spans.observe(spanResultEncode, encStart, time.Since(encStart))
+		// Attribute the inserted bytes to the tenant whose job filled this
+		// entry (cumulative insert attribution; later hits by any tenant read
+		// it for free — the filler paid the simulation too).
+		if err == nil {
+			if tn := tenant.FromContext(ctx); tn != nil {
+				tn.AddCacheBytes(int64(len(b)))
+			}
+		}
 		return b, err
 	})
 	if d := time.Since(lookupStart) - fillDur; d > 0 {
@@ -642,28 +709,31 @@ func (s *Server) deadlineFor(sub *submitRequest) time.Duration {
 	return d
 }
 
-// submit validates, registers, and enqueues a job. A non-empty idemKey makes
-// the submission idempotent: a retry carrying the same key returns the job
-// the first attempt created instead of enqueueing a duplicate. Every
-// rejection is counted by machine-readable reason before it returns.
-func (s *Server) submit(sub *submitRequest, idemKey, traceID string) (job *Job, replayed bool, err error) {
+// submit validates, registers, and enqueues a job on behalf of tn (never
+// nil; the anonymous tenant in open mode). A non-empty idemKey makes the
+// submission idempotent within the tenant: a retry carrying the same key
+// returns the job the first attempt created instead of enqueueing a
+// duplicate — but the same key from a different tenant is a different
+// submission. Every rejection is counted by machine-readable reason, on
+// both the global and the tenant's counters, before it returns.
+func (s *Server) submit(sub *submitRequest, tn *tenant.Tenant, idemKey, traceID string) (job *Job, replayed bool, err error) {
 	kind := "run"
 	var batchReqs []hetwire.RunRequest
 	if sub.Batch != nil && sub.Sweep != nil {
 		err := &hetwire.RequestError{Code: hetwire.ReasonBadRequest,
 			Err: fmt.Errorf("server: a submission carries either batch or sweep, not both")}
-		s.metrics.ObserveRejection(hetwire.ReasonCode(err))
+		s.reject(tn, hetwire.ReasonCode(err))
 		return nil, false, err
 	}
 	if sub.Batch != nil {
 		kind = "batch"
 		if err := sub.Batch.Validate(); err != nil {
-			s.metrics.ObserveRejection(hetwire.ReasonCode(err))
+			s.reject(tn, hetwire.ReasonCode(err))
 			return nil, false, err
 		}
 		reqs, err := sub.Batch.Expand()
 		if err != nil { // unreachable after Validate, but don't trust it
-			s.metrics.ObserveRejection(hetwire.ReasonCode(err))
+			s.reject(tn, hetwire.ReasonCode(err))
 			return nil, false, err
 		}
 		// Validate enforced the library-wide MaxSweepPoints; the daemon's own
@@ -671,7 +741,7 @@ func (s *Server) submit(sub *submitRequest, idemKey, traceID string) (job *Job, 
 		if len(reqs) > s.opts.MaxSweepPoints {
 			err := &hetwire.RequestError{Code: hetwire.ReasonBatchTooLarge,
 				Err: fmt.Errorf("server: batch expands to %d scenarios, limit is %d", len(reqs), s.opts.MaxSweepPoints)}
-			s.metrics.ObserveRejection(hetwire.ReasonCode(err))
+			s.reject(tn, hetwire.ReasonCode(err))
 			return nil, false, err
 		}
 		batchReqs = reqs
@@ -680,13 +750,13 @@ func (s *Server) submit(sub *submitRequest, idemKey, traceID string) (job *Job, 
 		reqs, err := sub.Sweep.expand()
 		if err != nil {
 			err = &hetwire.RequestError{Code: hetwire.ReasonBadRequest, Err: err}
-			s.metrics.ObserveRejection(hetwire.ReasonCode(err))
+			s.reject(tn, hetwire.ReasonCode(err))
 			return nil, false, err
 		}
 		if len(reqs) > s.opts.MaxSweepPoints {
 			err := &hetwire.RequestError{Code: hetwire.ReasonSweepTooLarge,
 				Err: fmt.Errorf("server: sweep expands to %d points, limit is %d", len(reqs), s.opts.MaxSweepPoints)}
-			s.metrics.ObserveRejection(hetwire.ReasonCode(err))
+			s.reject(tn, hetwire.ReasonCode(err))
 			return nil, false, err
 		}
 		for i := range reqs {
@@ -694,19 +764,42 @@ func (s *Server) submit(sub *submitRequest, idemKey, traceID string) (job *Job, 
 				err := &hetwire.RequestError{Code: hetwire.ReasonBudgetExceeded,
 					Err: fmt.Errorf("server: sweep point n=%d exceeds the per-request limit of %d",
 						reqs[i].N, uint64(hetwire.MaxInstructions))}
-				s.metrics.ObserveRejection(hetwire.ReasonCode(err))
+				s.reject(tn, hetwire.ReasonCode(err))
 				return nil, false, err
 			}
 		}
 	} else if err := sub.RunRequest.Validate(); err != nil {
-		s.metrics.ObserveRejection(hetwire.ReasonCode(err))
+		s.reject(tn, hetwire.ReasonCode(err))
 		return nil, false, err
 	}
 
+	// Overload protection, after validation (malformed requests stay 400)
+	// and before registration. Load-shed rejects only the bulk lane —
+	// interactive runs stay admitted; the per-tenant token bucket covers
+	// every lane. Both return 429 with a tenant-appropriate Retry-After.
+	if laneOf(kind) == laneBulk && s.shed.Load() {
+		err := &hetwire.RequestError{Code: hetwire.ReasonLoadShed,
+			Err: fmt.Errorf("server: shedding load, bulk submissions are rejected until the queue drains")}
+		s.reject(tn, hetwire.ReasonLoadShed)
+		return nil, false, err
+	}
+	if !tn.Allow(time.Now()) {
+		err := &hetwire.RequestError{Code: hetwire.ReasonTenantRateLimited,
+			Err: fmt.Errorf("server: tenant %q submission rate limit exceeded", tn.Name())}
+		s.reject(tn, hetwire.ReasonTenantRateLimited)
+		return nil, false, err
+	}
+
+	// Idempotency keys are scoped per tenant: tenant A replaying key K must
+	// never observe (or collide with) tenant B's job under the same K. The
+	// separator cannot appear in a tenant name, so scoped keys cannot alias.
+	if idemKey != "" {
+		idemKey = tn.Name() + "\x00" + idemKey
+	}
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		s.metrics.ObserveRejection("draining")
+		s.reject(tn, "draining")
 		return nil, false, ErrDraining
 	}
 	if idemKey != "" {
@@ -718,7 +811,7 @@ func (s *Server) submit(sub *submitRequest, idemKey, traceID string) (job *Job, 
 		}
 	}
 	s.nextID++
-	job = newJob(s.baseCtx, fmt.Sprintf("j-%06d", s.nextID), kind, traceID, s.deadlineFor(sub), time.Now())
+	job = newJob(s.baseCtx, fmt.Sprintf("j-%06d", s.nextID), kind, traceID, tn, s.deadlineFor(sub), time.Now())
 	job.Req = sub.RunRequest
 	job.Sweep = sub.Sweep
 	job.Batch = sub.Batch
@@ -738,14 +831,21 @@ func (s *Server) submit(sub *submitRequest, idemKey, traceID string) (job *Job, 
 		s.mu.Lock()
 		s.dropLocked(job)
 		s.mu.Unlock()
-		if errors.Is(err, ErrQueueFull) {
-			s.metrics.ObserveRejection("queue_full")
-		} else {
-			s.metrics.ObserveRejection("draining")
+		// Reason order matters: errTenantQueueShare wraps ErrQueueFull, so
+		// the typed code is consulted before the errors.Is fallbacks.
+		var re *hetwire.RequestError
+		switch {
+		case errors.As(err, &re):
+			s.reject(tn, re.Code)
+		case errors.Is(err, ErrQueueFull):
+			s.reject(tn, "queue_full")
+		default:
+			s.reject(tn, "draining")
 		}
 		return nil, false, err
 	}
 	s.metrics.jobsSubmitted.Add(1)
+	tn.CountSubmitted()
 	return job, false, nil
 }
 
@@ -797,7 +897,7 @@ func (s *Server) retryAfter() time.Duration {
 		return s.opts.DefaultRetryAfter.Round(time.Second)
 	}
 	mean := s.metrics.MeanJobLatency(time.Second)
-	depth := s.queue.depth() + 1 // the job that would have queued
+	depth := s.queue.depthNow() + 1 // the job that would have queued
 	est := time.Duration(depth) * mean / time.Duration(s.opts.Workers)
 	if est < time.Second {
 		est = time.Second
@@ -811,15 +911,21 @@ func (s *Server) retryAfter() time.Duration {
 // --- HTTP handlers ---
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tn, err := s.resolveTenant(r)
+	if err != nil {
+		s.reject(nil, hetwire.ReasonUnknownTenant)
+		s.submitError(w, err, nil)
+		return
+	}
 	var sub submitRequest
 	if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
-		s.metrics.ObserveRejection("bad_json")
+		s.reject(tn, "bad_json")
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	job, replayed, err := s.submit(&sub, r.Header.Get("Idempotency-Key"), hetwire.TraceIDFrom(r.Context()))
+	job, replayed, err := s.submit(&sub, tn, r.Header.Get("Idempotency-Key"), hetwire.TraceIDFrom(r.Context()))
 	if err != nil {
-		s.submitError(w, err)
+		s.submitError(w, err, tn)
 		return
 	}
 	if replayed {
@@ -831,11 +937,27 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, job.Status(false))
 }
 
-// submitError maps a submission failure to its HTTP response; queue-full
-// rejections become 429 with a Retry-After hint derived from the observed
-// drain rate. The body carries the machine-readable reason code alongside
-// the human-readable message so clients can branch without string matching.
-func (s *Server) submitError(w http.ResponseWriter, err error) {
+// submitError maps a submission failure to its HTTP response. Overload
+// rejections (queue_full, tenant_queue_share, tenant_rate_limited,
+// load_shed) become 429 with a Retry-After hint — the tenant's own bucket
+// refill time for a rate limit, the queue-drain estimate otherwise — and
+// unknown_tenant becomes 401. The body carries the machine-readable reason
+// code alongside the human-readable message so clients can branch without
+// string matching. The typed code is consulted before the errors.Is
+// fallbacks because tenant rejections wrap the generic sentinels.
+func (s *Server) submitError(w http.ResponseWriter, err error, tn *tenant.Tenant) {
+	var re *hetwire.RequestError
+	if errors.As(err, &re) {
+		switch re.Code {
+		case hetwire.ReasonTenantRateLimited, hetwire.ReasonTenantQueueShare, hetwire.ReasonLoadShed:
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.retryAfterFor(tn, re.Code)/time.Second)))
+			httpErrorReason(w, http.StatusTooManyRequests, re.Code, err)
+			return
+		case hetwire.ReasonUnknownTenant:
+			httpErrorReason(w, http.StatusUnauthorized, re.Code, err)
+			return
+		}
+	}
 	if errors.Is(err, ErrQueueFull) {
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.retryAfter()/time.Second)))
 		httpErrorReason(w, http.StatusTooManyRequests, "queue_full", err)
@@ -851,15 +973,21 @@ func (s *Server) submitError(w http.ResponseWriter, err error) {
 // handleRunSync submits a run and blocks until it completes, returning the
 // result body directly; the X-Hetwired-Cache header reports hit or miss.
 func (s *Server) handleRunSync(w http.ResponseWriter, r *http.Request) {
+	tn, err := s.resolveTenant(r)
+	if err != nil {
+		s.reject(nil, hetwire.ReasonUnknownTenant)
+		s.submitError(w, err, nil)
+		return
+	}
 	var req hetwire.RunRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.metrics.ObserveRejection("bad_json")
+		s.reject(tn, "bad_json")
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	job, _, err := s.submit(&submitRequest{RunRequest: req}, r.Header.Get("Idempotency-Key"), hetwire.TraceIDFrom(r.Context()))
+	job, _, err := s.submit(&submitRequest{RunRequest: req}, tn, r.Header.Get("Idempotency-Key"), hetwire.TraceIDFrom(r.Context()))
 	if err != nil {
-		s.submitError(w, err)
+		s.submitError(w, err, tn)
 		return
 	}
 	select {
@@ -939,6 +1067,7 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	}
 	if job.markCancelled(time.Now()) {
 		s.metrics.jobsCancelled.Add(1)
+		job.tenant.CountTerminal(string(StateCancelled))
 	} else {
 		job.cancel() // running: stops between sweep points; terminal: no-op
 	}
@@ -974,7 +1103,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	draining := s.draining
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.render(w, s.queue.depth(), draining, s.cache.Stats(), time.Now())
+	s.metrics.render(w, s.queue.depthNow(), draining, s.cache.Stats(), time.Now())
 }
 
 func (s *Server) lookup(id string) *Job {

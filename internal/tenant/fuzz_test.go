@@ -1,0 +1,57 @@
+package tenant
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTenantConfig drives the tenants-file parser with arbitrary bytes. Two
+// properties: ParseConfig never panics, and every accepted config round-trips
+// through its canonical form — Canonical() re-parses, and rendering the
+// re-parse is byte-identical (the canonical form is a fixed point). Seeds
+// cover the full policy surface plus near-miss rejections so the fuzzer
+// starts on both sides of every validation.
+func FuzzTenantConfig(f *testing.F) {
+	seeds := []string{
+		`{"tenants": []}`,
+		`{"tenants": [{"name": "acme", "key": "k-acme"}]}`,
+		`{"tenants": [{"name": "acme", "key": "k-acme", "weight": 3, "rate_per_sec": 10, "burst": 20, "queue_share": 0.5},
+		  {"name": "beta", "key": "k-beta", "weight": 1}],
+		  "anonymous": {"rate_per_sec": 2, "burst": 4, "queue_share": 0.25}}`,
+		`{"tenants": [{"name": "anonymous", "key": "k"}]}`,
+		`{"tenants": [{"name": "a", "key": "k"}, {"name": "a", "key": "k2"}]}`,
+		`{"tenants": [{"name": "a", "key": "k", "queue_share": 1.5}]}`,
+		`{"tenants": [{"name": "a", "key": "k", "burst": 5}]}`,
+		`{"tenants": [{"name": "a", "key": "k"}]} trailing`,
+		`not json at all`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := ParseConfig(data)
+		if err != nil {
+			return
+		}
+		c1, err := cfg.Canonical()
+		if err != nil {
+			t.Fatalf("accepted config failed to render canonically: %v", err)
+		}
+		cfg2, err := ParseConfig(c1)
+		if err != nil {
+			t.Fatalf("canonical form rejected by its own parser: %v\n%s", err, c1)
+		}
+		c2, err := cfg2.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("canonical form is not a fixed point:\n%s\n%s", c1, c2)
+		}
+		// The registry must come up on any accepted config.
+		r := NewRegistry(cfg)
+		if r.Anonymous() == nil || len(r.All()) != len(cfg.Tenants)+1 {
+			t.Fatalf("registry shape wrong for accepted config: %d tenants", len(r.All()))
+		}
+	})
+}

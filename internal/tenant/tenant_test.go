@@ -1,0 +1,201 @@
+package tenant
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := ParseConfig([]byte(`{
+		"tenants": [
+			{"name": "acme", "key": "k-acme", "weight": 3, "rate_per_sec": 10, "queue_share": 0.5},
+			{"name": "beta", "key": "k-beta"}
+		],
+		"anonymous": {"rate_per_sec": 2, "burst": 4}
+	}`))
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	if len(cfg.Tenants) != 2 || cfg.Anonymous == nil {
+		t.Fatalf("unexpected config shape: %+v", cfg)
+	}
+	if cfg.Tenants[0].Weight != 3 || cfg.Tenants[0].QueueShare != 0.5 {
+		t.Errorf("acme spec mangled: %+v", cfg.Tenants[0])
+	}
+}
+
+func TestParseConfigRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad json":        `{`,
+		"unknown field":   `{"tenants": [{"name": "a", "key": "k", "wieght": 3}]}`,
+		"trailing data":   `{"tenants": []} {"tenants": []}`,
+		"empty name":      `{"tenants": [{"name": "", "key": "k"}]}`,
+		"uppercase name":  `{"tenants": [{"name": "Acme", "key": "k"}]}`,
+		"reserved anon":   `{"tenants": [{"name": "anonymous", "key": "k"}]}`,
+		"reserved other":  `{"tenants": [{"name": "other", "key": "k"}]}`,
+		"missing key":     `{"tenants": [{"name": "acme"}]}`,
+		"key with space":  `{"tenants": [{"name": "acme", "key": "a b"}]}`,
+		"dup name":        `{"tenants": [{"name": "a", "key": "k1"}, {"name": "a", "key": "k2"}]}`,
+		"dup key":         `{"tenants": [{"name": "a", "key": "k"}, {"name": "b", "key": "k"}]}`,
+		"negative weight": `{"tenants": [{"name": "a", "key": "k", "weight": -1}]}`,
+		"huge weight":     `{"tenants": [{"name": "a", "key": "k", "weight": 1001}]}`,
+		"negative rate":   `{"tenants": [{"name": "a", "key": "k", "rate_per_sec": -1}]}`,
+		"burst sans rate": `{"tenants": [{"name": "a", "key": "k", "burst": 5}]}`,
+		"share over 1":    `{"tenants": [{"name": "a", "key": "k", "queue_share": 1.5}]}`,
+		"anon with key":   `{"anonymous": {"key": "k"}}`,
+		"anon bad name":   `{"anonymous": {"name": "acme"}}`,
+	}
+	for label, doc := range cases {
+		if _, err := ParseConfig([]byte(doc)); err == nil {
+			t.Errorf("%s: config accepted, want rejection: %s", label, doc)
+		}
+	}
+}
+
+func TestCanonicalRoundTrip(t *testing.T) {
+	cfg, err := ParseConfig([]byte(`{"tenants": [{"name": "a", "key": "k", "weight": 2}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := cfg.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2, err := ParseConfig(c1)
+	if err != nil {
+		t.Fatalf("canonical form failed to re-parse: %v\n%s", err, c1)
+	}
+	c2, err := cfg2.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Errorf("canonical form is not a fixed point:\n%s\n%s", c1, c2)
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	cfg, err := ParseConfig([]byte(`{"tenants": [{"name": "acme", "key": "k-acme", "weight": 3}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry(cfg)
+	if r.Open() {
+		t.Error("configured registry reports open mode")
+	}
+	if tn, ok := r.Lookup("k-acme"); !ok || tn.Name() != "acme" || tn.Weight() != 3 {
+		t.Errorf("Lookup(k-acme) = %v, %t", tn, ok)
+	}
+	if tn, ok := r.Lookup(""); !ok || tn.Name() != AnonymousName {
+		t.Errorf("Lookup(\"\") = %v, %t; want anonymous", tn, ok)
+	}
+	if _, ok := r.Lookup("nope"); ok {
+		t.Error("unknown key resolved")
+	}
+
+	open := NewRegistry(nil)
+	if !open.Open() {
+		t.Error("nil-config registry is not open")
+	}
+	if tn, ok := open.Lookup("anything"); !ok || tn != open.Anonymous() {
+		t.Error("open mode should resolve every key to anonymous")
+	}
+}
+
+func TestRegistryAllSorted(t *testing.T) {
+	cfg, err := ParseConfig([]byte(`{"tenants": [
+		{"name": "zeta", "key": "kz"}, {"name": "acme", "key": "ka"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, tn := range NewRegistry(cfg).All() {
+		names = append(names, tn.Name())
+	}
+	if got := strings.Join(names, ","); got != "acme,anonymous,zeta" {
+		t.Errorf("All() order = %s", got)
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	tn := newTenant(Spec{Name: "a", RatePerSec: 2, Burst: 2})
+	now := time.Unix(1000, 0)
+	if !tn.Allow(now) || !tn.Allow(now) {
+		t.Fatal("burst of 2 should admit two submissions")
+	}
+	if tn.Allow(now) {
+		t.Fatal("third submission at t=0 should be limited")
+	}
+	// At 2 tokens/s the next whole token is 500ms out.
+	if ra := tn.RetryAfter(now); ra <= 0 || ra > 500*time.Millisecond {
+		t.Errorf("RetryAfter = %v, want (0, 500ms]", ra)
+	}
+	if !tn.Allow(now.Add(600 * time.Millisecond)) {
+		t.Error("bucket did not refill after 600ms")
+	}
+	// Refill never exceeds burst.
+	later := now.Add(time.Hour)
+	tn.Allow(later)
+	tn.Allow(later)
+	if tn.Allow(later) {
+		t.Error("bucket refilled past its burst capacity")
+	}
+
+	unlimited := newTenant(Spec{Name: "u"})
+	for i := 0; i < 1000; i++ {
+		if !unlimited.Allow(now) {
+			t.Fatal("unlimited tenant was rate limited")
+		}
+	}
+	if unlimited.RetryAfter(now) != 0 {
+		t.Error("unlimited tenant has a nonzero RetryAfter")
+	}
+}
+
+func TestQueueShareCap(t *testing.T) {
+	cases := []struct {
+		share float64
+		depth int
+		want  int
+	}{
+		{0, 64, 0}, // unset: uncapped
+		{1, 64, 0}, // full share: uncapped
+		{0.5, 64, 32},
+		{0.25, 10, 3}, // ceil(2.5)
+		{0.01, 10, 1}, // floor of 1 slot
+	}
+	for _, c := range cases {
+		tn := newTenant(Spec{Name: "a", QueueShare: c.share})
+		if got := tn.QueueShareCap(c.depth); got != c.want {
+			t.Errorf("QueueShareCap(share=%v, depth=%d) = %d, want %d", c.share, c.depth, got, c.want)
+		}
+	}
+}
+
+func TestAccountingSnapshot(t *testing.T) {
+	tn := newTenant(Spec{Name: "a", Weight: 3})
+	tn.AddSimCPU(1500 * time.Millisecond)
+	tn.AddCacheBytes(4096)
+	tn.IncQueued()
+	tn.IncInFlight()
+	tn.CountSubmitted()
+	tn.CountTerminal("done")
+	tn.CountTerminal("failed")
+	tn.CountTerminal("cancelled")
+	tn.CountRejection("tenant_rate_limited")
+	tn.CountRejection("tenant_rate_limited")
+	sn := tn.Snapshot()
+	if sn.Name != "a" || sn.Weight != 3 || sn.SimCPU != 1500*time.Millisecond ||
+		sn.CacheBytes != 4096 || sn.Queued != 1 || sn.InFlight != 1 ||
+		sn.Submitted != 1 || sn.Done != 1 || sn.Failed != 1 || sn.Cancelled != 1 ||
+		sn.Rejected["tenant_rate_limited"] != 2 {
+		t.Errorf("snapshot mismatch: %+v", sn)
+	}
+	// The snapshot's rejection map is a copy, not an alias.
+	sn.Rejected["tenant_rate_limited"] = 99
+	if tn.Snapshot().Rejected["tenant_rate_limited"] != 2 {
+		t.Error("Snapshot aliases the live rejection map")
+	}
+}

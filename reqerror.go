@@ -35,6 +35,18 @@ const (
 	// ReasonInvalidRequest is the fallback code for validation errors that
 	// carry no specific reason.
 	ReasonInvalidRequest = "invalid_request"
+	// ReasonUnknownTenant: the request carried an API key that matches no
+	// configured tenant.
+	ReasonUnknownTenant = "unknown_tenant"
+	// ReasonTenantRateLimited: the tenant's submission token bucket is
+	// exhausted; Retry-After carries the tenant's own refill time.
+	ReasonTenantRateLimited = "tenant_rate_limited"
+	// ReasonTenantQueueShare: the tenant already occupies its configured
+	// share of the job queue.
+	ReasonTenantQueueShare = "tenant_queue_share"
+	// ReasonLoadShed: the daemon is shedding bulk-lane work under sustained
+	// queue saturation; interactive submissions are still admitted.
+	ReasonLoadShed = "load_shed"
 )
 
 // RequestError is a validation failure with a machine-readable reason code.
