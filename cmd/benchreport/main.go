@@ -78,6 +78,26 @@ type Report struct {
 	// FIFO queue on an identical job stream; the fair path is required to
 	// stay within low single digits of FIFO.
 	QoSOverhead *QoSOverhead `json:"qos_overhead,omitempty"`
+	// FlightOverhead compares the serving path with the flight recorder
+	// disabled vs enabled on an identical job stream; the always-on recorder
+	// is required to stay within noise (<1%) of the disabled path.
+	FlightOverhead *FlightOverhead `json:"flight_overhead,omitempty"`
+}
+
+// FlightOverhead is the flight-recorder-on vs recorder-off cost readout: the
+// same stream of single-scenario jobs pushed through a live daemon once with
+// the recorder compiled out of the hot path (nil recorder, one pointer
+// compare per probe site) and once recording every admission, dispatch, and
+// cache decision into the ring.
+type FlightOverhead struct {
+	Jobs      int     `json:"jobs"`
+	Workers   int     `json:"workers"`
+	N         uint64  `json:"n"`
+	OffWallMS float64 `json:"off_wall_ms"`
+	OnWallMS  float64 `json:"on_wall_ms"`
+	// OverheadPct is how much slower the recorded stream was, in percent of
+	// the recorder-off wall clock (negative means faster — noise).
+	OverheadPct float64 `json:"overhead_pct"`
 }
 
 // QoSOverhead is the fair-scheduler-on vs scheduler-off cost readout: the
@@ -413,6 +433,99 @@ func measureQoS(count uint64) (*QoSOverhead, error) {
 	}, nil
 }
 
+// flightPass pushes the job stream through one daemon configuration —
+// recorder disabled (FlightEvents -1) or enabled at the default ring size —
+// and times submission-to-last-completion. Distinct budgets defeat the
+// result cache, so every job simulates and every probe site fires.
+func flightPass(enabled bool, workers int, ns []uint64) (time.Duration, error) {
+	opts := server.Options{Workers: workers, QueueDepth: len(ns) + 8, FlightEvents: -1}
+	if enabled {
+		opts.FlightEvents = 0 // default ring
+	}
+	s := server.New(opts)
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		s.Shutdown(ctx)
+		ts.Close()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	cl := client.New(client.Options{BaseURL: ts.URL})
+	runtime.GC()
+	start := time.Now()
+	ids := make([]string, len(ns))
+	for i, n := range ns {
+		var st server.JobStatus
+		if err := cl.DoJSON(ctx, http.MethodPost, "/v1/jobs",
+			map[string]any{"benchmark": "gcc", "n": n}, "", &st); err != nil {
+			return 0, err
+		}
+		ids[i] = st.ID
+	}
+	for _, id := range ids {
+		st, err := cl.Await(ctx, id, 2*time.Millisecond)
+		if err != nil {
+			return 0, err
+		}
+		if st.State != server.StateDone {
+			return 0, fmt.Errorf("flight pass job %s ended %s: %s", id, st.State, st.Error)
+		}
+	}
+	return time.Since(start), nil
+}
+
+// measureFlight times the identical job stream with the recorder off and on,
+// interleaved best of five passes each (same drift-cancelling structure as
+// measureQoS, but with more rounds: the true per-event cost is nanoseconds
+// against multi-second passes, so the reported difference is dominated by
+// scheduler noise and extra rounds tighten both minima toward it).
+func measureFlight(count uint64) (*FlightOverhead, error) {
+	const jobs = 24
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 4 {
+		workers = 4
+	}
+	per := count / 2
+	if per < 1_000 {
+		per = 1_000
+	}
+	if _, err := flightPass(false, workers, []uint64{1_000}); err != nil {
+		return nil, err
+	}
+	var offWall, onWall time.Duration
+	for round := 0; round < 5; round++ {
+		for _, enabled := range []bool{false, true} {
+			ns := make([]uint64, jobs)
+			for j := range ns {
+				ns[j] = per + uint64(round*jobs+j)
+			}
+			wall, err := flightPass(enabled, workers, ns)
+			if err != nil {
+				return nil, err
+			}
+			if enabled {
+				if onWall == 0 || wall < onWall {
+					onWall = wall
+				}
+			} else if offWall == 0 || wall < offWall {
+				offWall = wall
+			}
+		}
+	}
+	return &FlightOverhead{
+		Jobs:      jobs,
+		Workers:   workers,
+		N:         per,
+		OffWallMS: float64(offWall) / float64(time.Millisecond),
+		OnWallMS:  float64(onWall) / float64(time.Millisecond),
+		OverheadPct: (onWall.Seconds() - offWall.Seconds()) /
+			offWall.Seconds() * 100,
+	}, nil
+}
+
 // measureWire simulates one scenario, then times the binary result path on
 // its frame: encode throughput, decode throughput, and the cache-hit serve
 // operation (PeekHeader + copy, exactly the daemon's hit path).
@@ -542,6 +655,15 @@ func main() {
 	rep.QoSOverhead = qo
 	fmt.Fprintf(os.Stderr, "qos overhead %d jobs n=%-7d workers=%d fifo %8.1f ms fair %8.1f ms (%+.2f%%)\n",
 		qo.Jobs, qo.N, qo.Workers, qo.FIFOWallMS, qo.FairWallMS, qo.OverheadPct)
+
+	fo, err := measureFlight(count)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: flight overhead: %v\n", err)
+		os.Exit(1)
+	}
+	rep.FlightOverhead = fo
+	fmt.Fprintf(os.Stderr, "flight overhead %d jobs n=%-7d workers=%d off %8.1f ms on %8.1f ms (%+.2f%%)\n",
+		fo.Jobs, fo.N, fo.Workers, fo.OffWallMS, fo.OnWallMS, fo.OverheadPct)
 
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

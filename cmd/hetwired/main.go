@@ -57,6 +57,7 @@ import (
 	"hetwire/internal/client"
 	"hetwire/internal/cluster/node"
 	"hetwire/internal/faultinject"
+	"hetwire/internal/obs/flight"
 	"hetwire/internal/server"
 	"hetwire/internal/tenant"
 )
@@ -91,6 +92,9 @@ func serve(args []string) {
 		nodeName   = fs.String("node-name", "", "node label reported at registration (default: hostname)")
 		leaseLog   = fs.String("lease-log", "", "node: append one JSONL record per completed lease to this file")
 		tenantsF   = fs.String("tenants", "", "tenant config file (JSON) enabling keyed multi-tenancy with weighted-fair scheduling; empty = open mode")
+		flightN    = fs.Int("flight-events", 0, "flight-recorder ring capacity in events (0 = default 4096; negative disables the recorder)")
+		flightDir  = fs.String("flight-dir", "", "directory for automatic flight dumps on worker panic or watchdog stall (empty = no auto-dump)")
+		flightLog  = fs.String("flight-log", "", "node: stream every flight event to this JSONL file as it is recorded")
 	)
 	fs.Parse(args)
 
@@ -107,7 +111,7 @@ func serve(args []string) {
 		logger.Printf("fault injection active: %s", injector)
 	}
 	if *join != "" {
-		joinCluster(logger, *join, *token, *nodeName, *workers, *leaseSize, *leaseLog)
+		joinCluster(logger, *join, *token, *nodeName, *workers, *leaseSize, *leaseLog, *flightN, *flightLog)
 		return
 	}
 	var tenantCfg *tenant.Config
@@ -144,6 +148,8 @@ func serve(args []string) {
 		Logger:            reqLogger,
 		Cluster:           clusterOpts,
 		Tenants:           tenantCfg,
+		FlightEvents:      *flightN,
+		FlightDir:         *flightDir,
 	})
 	srv.Metrics().SetBuildInfo(buildVersion(), runtime.Version())
 
@@ -203,7 +209,7 @@ func serve(args []string) {
 // joinCluster runs the process as a cluster worker node against the
 // coordinator at base, until SIGTERM/SIGINT. A signal mid-lease abandons the
 // lease without uploading; the coordinator's lease expiry re-dispatches it.
-func joinCluster(logger *log.Logger, base, token, name string, parallelism, maxLease int, leaseLog string) {
+func joinCluster(logger *log.Logger, base, token, name string, parallelism, maxLease int, leaseLog string, flightN int, flightLog string) {
 	if token == "" {
 		logger.Fatalf("-join requires the shared secret: set -cluster-token or $HETWIRE_CLUSTER_TOKEN")
 	}
@@ -220,6 +226,23 @@ func joinCluster(logger *log.Logger, base, token, name string, parallelism, maxL
 		}
 		defer f.Close()
 		eventLog = f
+	}
+	var fr *flight.Recorder
+	if flightN >= 0 {
+		fr = flight.New(flightN)
+	}
+	if flightLog != "" {
+		if fr == nil {
+			logger.Fatalf("-flight-log requires the recorder: drop -flight-events=%d or make it non-negative", flightN)
+		}
+		f, err := os.OpenFile(flightLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Fatalf("opening -flight-log %s: %v", flightLog, err)
+		}
+		defer f.Close()
+		if err := fr.SetSink(f, name); err != nil {
+			logger.Fatalf("writing -flight-log header: %v", err)
+		}
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -241,6 +264,7 @@ func joinCluster(logger *log.Logger, base, token, name string, parallelism, maxL
 		MaxLease:    maxLease,
 		Logger:      logger,
 		EventLog:    eventLog,
+		Flight:      fr,
 	})
 	if err != nil && ctx.Err() == nil {
 		logger.Fatalf("node: %v", err)

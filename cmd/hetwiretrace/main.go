@@ -6,25 +6,35 @@
 //	hetwiretrace summary -json gcc.trace     # machine-readable summary
 //	hetwiretrace diff a.trace b.trace        # metric-by-metric comparison
 //	hetwiretrace timeline -width 80 gcc.trace
+//	hetwiretrace cluster coordinator.flight node-a.flight node-a.leases
 //
 // record runs the simulation in-process (no daemon needed) with the probe
 // attached; the other verbs work on any trace file, including ones captured
 // by a probed hetwired worker. Traces are deterministic, so diffing two
 // recordings of the same scenario shows exactly the metrics a config change
 // moved.
+//
+// cluster merges flight-recorder dumps (JSONL or the hetwire-bin container,
+// from GET /v1/debug/flight or a node's -flight-log) and node lease logs
+// (-lease-log) into one causal timeline per trace ID. Ordering is sequence
+// numbers and lease-grant anchoring, never wall clock, so merging the dumps
+// of two identical runs yields byte-identical timelines.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"hetwire"
 	"hetwire/internal/obs"
+	"hetwire/internal/obs/flight"
 	"hetwire/internal/wire"
 )
 
@@ -43,6 +53,8 @@ func main() {
 		err = cmdDiff(os.Args[2:])
 	case "timeline":
 		err = cmdTimeline(os.Args[2:])
+	case "cluster":
+		err = cmdCluster(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -63,6 +75,7 @@ func usage() {
   hetwiretrace summary [-json] FILE
   hetwiretrace diff    [-json] [-top K] FILE_A FILE_B
   hetwiretrace timeline [-width W] FILE
+  hetwiretrace cluster [-durations] DUMP...   # flight dumps + lease logs -> causal timeline
 `)
 }
 
@@ -178,6 +191,75 @@ func cmdDiff(args []string) error {
 		return enc.Encode(rows)
 	}
 	fmt.Print(obs.FormatDiff(rows))
+	return nil
+}
+
+// readClusterFile sniffs one cluster dump: binary flight containers by the
+// wire magic, then JSONL flight dumps and lease logs by the schema field of
+// the first record. Flight dumps are labelled by their header's source (the
+// process that recorded them), lease logs by file name.
+func readClusterFile(path string) (flight.Source, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return flight.Source{}, err
+	}
+	if wire.IsWire(data) {
+		hdr, events, err := flight.ReadDump(wire.NewFlightReader(bytes.NewReader(data)))
+		if err != nil {
+			return flight.Source{}, fmt.Errorf("%s: %w", path, err)
+		}
+		return flight.Source{Name: sourceName(hdr, path), Events: events}, nil
+	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		json.Unmarshal(line, &probe)
+		break
+	}
+	switch probe.Schema {
+	case flight.Schema:
+		hdr, events, err := flight.ReadDump(bytes.NewReader(data))
+		if err != nil {
+			return flight.Source{}, fmt.Errorf("%s: %w", path, err)
+		}
+		return flight.Source{Name: sourceName(hdr, path), Events: events}, nil
+	case obs.LeaseSchema:
+		leases, err := obs.ReadLeaseEvents(bytes.NewReader(data))
+		if err != nil {
+			return flight.Source{}, fmt.Errorf("%s: %w", path, err)
+		}
+		return flight.Source{Name: filepath.Base(path), Leases: leases}, nil
+	}
+	return flight.Source{}, fmt.Errorf("%s: not a flight dump or lease log (schema %q)", path, probe.Schema)
+}
+
+func sourceName(hdr flight.Header, path string) string {
+	if hdr.Source != "" {
+		return hdr.Source
+	}
+	return filepath.Base(path)
+}
+
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	durations := fs.Bool("durations", false, "include measured vtime/duration fields (nondeterministic; off for diffable output)")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("cluster: need at least one flight dump or lease log")
+	}
+	sources := make([]flight.Source, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		src, err := readClusterFile(path)
+		if err != nil {
+			return err
+		}
+		sources = append(sources, src)
+	}
+	fmt.Print(flight.MergeTimeline(sources, *durations))
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"hetwire"
+	"hetwire/internal/obs/flight"
 	"hetwire/internal/wire"
 )
 
@@ -35,6 +36,9 @@ type Options struct {
 	// results and single-box results share one store. Nil disables
 	// federation (every scenario simulates).
 	Cache ResultCache
+	// Flight, when set, receives lease-lifecycle events (grant, upload,
+	// expire) from the coordinator. Nil records nothing.
+	Flight *flight.Recorder
 	// Logger receives lease lifecycle logs (default: discard).
 	Logger *log.Logger
 	// Now is the clock (default time.Now); tests inject a fake to drive
@@ -120,6 +124,10 @@ type jobState struct {
 	spanDur map[string]float64
 	// fedHits counts slots filled from the federated cache.
 	fedHits int
+	// nodeEvents holds the flight-recorder events nodes attached to their
+	// heartbeats for this job, in arrival order — the coordinator-side index
+	// behind cluster-wide causal trace aggregation.
+	nodeEvents []flight.Event
 }
 
 // nodeState tracks one registered node.
@@ -250,7 +258,27 @@ func (c *Coordinator) Heartbeat(req *HeartbeatRequest) *HeartbeatResponse {
 		return &HeartbeatResponse{Known: false}
 	}
 	n.lastSeen = c.opts.Now()
+	// Index piggybacked node flight events under the jobs they concern; the
+	// node stamps its own name, the job ID routes them. Events for finished
+	// (taken) jobs are dropped — there is no record left to attach them to.
+	for _, ev := range req.Events {
+		if j, ok := c.jobs[ev.Job]; ok {
+			j.nodeEvents = append(j.nodeEvents, ev)
+		}
+	}
 	return &HeartbeatResponse{Known: true}
+}
+
+// NodeEvents copies the node flight events indexed so far for a live job
+// (empty once the job has been taken).
+func (c *Coordinator) NodeEvents(jobID string) []flight.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[jobID]
+	if !ok {
+		return nil
+	}
+	return append([]flight.Event(nil), j.nodeEvents...)
 }
 
 // Lease hands the requesting node the next shard of pending work: up to Max
@@ -308,6 +336,15 @@ func (c *Coordinator) Lease(req *LeaseRequest) (*LeaseResponse, error) {
 			scenarios[i] = sl.req
 		}
 		c.stats.LeasesIssued++
+		c.opts.Flight.Record(flight.Event{
+			Kind:   flight.KindLeaseGrant,
+			Trace:  j.traceID,
+			Tenant: j.tenant,
+			Job:    jobID,
+			Lease:  ls.id,
+			Node:   n.id,
+			Detail: fmt.Sprintf("range=[%d,%d)", ls.start, ls.end),
+		})
 		c.opts.Logger.Printf("cluster lease issued id=%s job=%s node=%s range=[%d,%d) tenant=%s trace=%s",
 			ls.id, jobID, n.id, ls.start, ls.end, j.tenant, j.traceID)
 		return &LeaseResponse{Lease: &Lease{
@@ -491,6 +528,15 @@ func (c *Coordinator) Upload(req *UploadRequest) (*UploadResponse, error) {
 	for _, sp := range req.Spans {
 		j.spanDur[sp.Name] += sp.DurMS
 	}
+	c.opts.Flight.Record(flight.Event{
+		Kind:   flight.KindLeaseUpload,
+		Trace:  j.traceID,
+		Tenant: j.tenant,
+		Job:    j.id,
+		Lease:  req.LeaseID,
+		Node:   n.id,
+		Detail: fmt.Sprintf("accepted=%d duplicate=%d requeued=%d", resp.Accepted, resp.Duplicate, len(resp.Requeued)),
+	})
 	if j.open == 0 {
 		// A straggler upload can land after the job already completed (every
 		// result a duplicate); complete exactly once.
@@ -813,6 +859,19 @@ func (c *Coordinator) expireLeaseLocked(ls *leaseState, why string) {
 	}
 	c.releaseLeaseLocked(ls)
 	c.stats.LeasesExpired++
+	ev := flight.Event{
+		Kind:   flight.KindLeaseExpire,
+		Job:    ls.jobID,
+		Lease:  ls.id,
+		Node:   ls.nodeID,
+		Reason: why,
+		Detail: fmt.Sprintf("requeued=%d", requeued),
+	}
+	if ok {
+		ev.Trace = j.traceID
+		ev.Tenant = j.tenant
+	}
+	c.opts.Flight.Record(ev)
 	c.opts.Logger.Printf("cluster lease expired id=%s job=%s node=%s requeued=%d (%s)",
 		ls.id, ls.jobID, ls.nodeID, requeued, why)
 }

@@ -28,6 +28,7 @@ import (
 	"hetwire/internal/client"
 	"hetwire/internal/cluster"
 	"hetwire/internal/obs"
+	"hetwire/internal/obs/flight"
 	"hetwire/internal/wire"
 )
 
@@ -54,6 +55,10 @@ type Options struct {
 	// EventLog, when non-nil, receives one obs.LeaseEvent JSONL record per
 	// completed (or aborted) lease.
 	EventLog io.Writer
+	// Flight, when non-nil, records the node's operational events (lease
+	// start, per-phase spans) and drains them into heartbeat traffic so the
+	// coordinator can index them per job for cluster-wide trace aggregation.
+	Flight *flight.Recorder
 	// OnLease, when non-nil, observes each lease as it is received, before
 	// any work happens. Tests use it to kill the node mid-lease.
 	OnLease func(lease *cluster.Lease)
@@ -87,6 +92,10 @@ type agent struct {
 	// at registration: results are then encoded as wire frames and uploads go
 	// out binary; otherwise the JSON upload body is used.
 	wireOK bool
+	// flightSent is the highest flight-recorder sequence number the
+	// coordinator has acknowledged receiving (via a successful heartbeat);
+	// the next heartbeat drains everything after it.
+	flightSent uint64
 }
 
 // Run operates one node against the coordinator until ctx ends. It returns
@@ -222,15 +231,31 @@ func (a *agent) heartbeatLoop(ctx context.Context) {
 		if err := sleepCtx(ctx, every); err != nil {
 			return
 		}
+		// Drain flight events recorded since the last acknowledged heartbeat
+		// onto this one; the sent watermark only advances on success, so a
+		// failed heartbeat retries the same window (the coordinator indexes
+		// per job ID, and duplicates only arise from ring lapping, never from
+		// the drain itself).
+		a.mu.Lock()
+		sent := a.flightSent
+		a.mu.Unlock()
+		events := a.opts.Flight.Since(sent)
 		var resp cluster.HeartbeatResponse
 		err := a.cl.DoJSON(ctx, http.MethodPost, "/v1/cluster/heartbeat",
-			&cluster.HeartbeatRequest{NodeID: a.id()}, "hb", &resp)
+			&cluster.HeartbeatRequest{NodeID: a.id(), Events: events}, "hb", &resp)
 		if err != nil {
 			if ctx.Err() != nil {
 				return
 			}
 			a.opts.Logger.Printf("node heartbeat failed: %v", err)
 			continue
+		}
+		if n := len(events); n > 0 {
+			a.mu.Lock()
+			if last := events[n-1].Seq; last > a.flightSent {
+				a.flightSent = last
+			}
+			a.mu.Unlock()
 		}
 		if !resp.Known {
 			a.mu.Lock()
@@ -279,6 +304,15 @@ func (a *agent) runLease(ctx context.Context, lease *cluster.Lease) error {
 		Start:   lease.Start,
 		End:     lease.End,
 	}
+	a.opts.Flight.Record(flight.Event{
+		Kind:   flight.KindLeaseRun,
+		Trace:  lease.TraceID,
+		Tenant: lease.Tenant,
+		Job:    lease.JobID,
+		Lease:  lease.ID,
+		Node:   a.id(),
+		Detail: fmt.Sprintf("range=[%d,%d)", lease.Start, lease.End),
+	})
 
 	// Phase 1: ask the federated cache index which results are already known.
 	// Failures degrade to "nothing known" — the check is an optimization, the
@@ -400,6 +434,21 @@ func (a *agent) runLease(ctx context.Context, lease *cluster.Lease) error {
 		ev.Aborted = true
 		a.logEvent(ev)
 		return fmt.Errorf("node: uploading lease %s: %w", lease.ID, err)
+	}
+	// Span summaries ride the flight recorder (and from there, heartbeat
+	// traffic): one event per phase, DurMS being the measured — hence
+	// nondeterministic, hence Canonical-elided — cost.
+	for _, sp := range append(spans, cluster.Span{Name: cluster.SpanUpload, DurMS: msSince(t0)}) {
+		a.opts.Flight.Record(flight.Event{
+			Kind:   flight.KindSpan,
+			Trace:  lease.TraceID,
+			Tenant: lease.Tenant,
+			Job:    lease.JobID,
+			Lease:  lease.ID,
+			Node:   a.id(),
+			DurMS:  sp.DurMS,
+			Detail: sp.Name,
+		})
 	}
 	a.opts.Logger.Printf("node lease %s done job=%s range=[%d,%d) simulated=%d skipped=%d failed=%d accepted=%d duplicate=%d requeued=%d upload_ms=%.1f",
 		lease.ID, lease.JobID, lease.Start, lease.End, ev.Simulated, ev.Skipped, ev.Failed,

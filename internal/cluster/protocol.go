@@ -34,6 +34,7 @@ import (
 	"fmt"
 
 	"hetwire"
+	"hetwire/internal/obs/flight"
 )
 
 // ProtocolVersion is bumped on any incompatible change to the wire types or
@@ -113,9 +114,15 @@ type RegisterResponse struct {
 	WireFormats []string `json:"wire_formats,omitempty"`
 }
 
-// HeartbeatRequest is the periodic liveness check-in.
+// HeartbeatRequest is the periodic liveness check-in. Events optionally
+// piggybacks the node's flight-recorder drain: events recorded since the
+// last acknowledged heartbeat, for the coordinator to index per job. The
+// field is additive — old nodes omit it, old coordinators ignore it — and
+// rides the JSON heartbeat precisely so the binary upload format (and its
+// golden-wire fixtures) stays untouched.
 type HeartbeatRequest struct {
-	NodeID string `json:"node_id"`
+	NodeID string         `json:"node_id"`
+	Events []flight.Event `json:"events,omitempty"`
 }
 
 // HeartbeatResponse acknowledges a heartbeat. Known=false tells the node the

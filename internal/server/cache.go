@@ -6,6 +6,8 @@ import (
 	"crypto/sha256"
 	"errors"
 	"sync"
+
+	"hetwire/internal/obs/flight"
 )
 
 // Cache is a content-addressed result cache with LRU eviction under a byte
@@ -25,7 +27,11 @@ type Cache struct {
 	bytes    int64
 	ll       *list.List // front = most recently used
 	entries  map[string]*list.Element
-	inflight map[string]*flight
+	inflight map[string]*inflightCall
+
+	// flight receives cache_corrupt events when a checksum-failed entry is
+	// dropped; nil-safe.
+	flight *flight.Recorder
 
 	hits       uint64 // served from a stored entry
 	coalesced  uint64 // served by waiting on an in-flight computation
@@ -40,8 +46,8 @@ type cacheEntry struct {
 	sum  [sha256.Size]byte
 }
 
-// flight is one in-progress computation; waiters block on done.
-type flight struct {
+// inflightCall is one in-progress computation; waiters block on done.
+type inflightCall struct {
 	done chan struct{}
 	body []byte
 	err  error
@@ -55,9 +61,12 @@ func NewCache(budget int64) *Cache {
 		budget:   budget,
 		ll:       list.New(),
 		entries:  make(map[string]*list.Element),
-		inflight: make(map[string]*flight),
+		inflight: make(map[string]*inflightCall),
 	}
 }
+
+// setFlight attaches the flight recorder (nil keeps recording disabled).
+func (c *Cache) setFlight(fr *flight.Recorder) { c.flight = fr }
 
 // Do returns the cached body for key, or computes it. The hit result is
 // true when the body was served without running compute in this call —
@@ -83,6 +92,7 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() ([]byte, erro
 			// Corrupt entry: drop it and fall through to recompute.
 			c.removeLocked(el)
 			c.corruption++
+			c.flight.Record(flight.Event{Kind: flight.KindCacheCorrupt, Detail: key})
 		}
 		if f, ok := c.inflight[key]; ok {
 			c.coalesced++
@@ -97,7 +107,7 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() ([]byte, erro
 			}
 			return f.body, true, f.err
 		}
-		f := &flight{done: make(chan struct{})}
+		f := &inflightCall{done: make(chan struct{})}
 		c.inflight[key] = f
 		c.misses++
 		c.mu.Unlock()
@@ -134,6 +144,7 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	if sha256.Sum256(ent.body) != ent.sum {
 		c.removeLocked(el)
 		c.corruption++
+		c.flight.Record(flight.Event{Kind: flight.KindCacheCorrupt, Detail: key})
 		return nil, false
 	}
 	c.ll.MoveToFront(el)

@@ -43,6 +43,7 @@ func (s *Server) initCluster(co *ClusterOptions) {
 		Heartbeat: co.Heartbeat,
 		DeadAfter: co.DeadAfter,
 		Cache:     s.cache,
+		Flight:    s.flight,
 		Logger:    s.opts.Logger,
 	})
 	s.clusterToken = co.Token

@@ -91,6 +91,9 @@ type Metrics struct {
 	// per-tenant counter snapshots at render time; nil omits the
 	// hetwired_tenant_* section, keeping open-mode expositions unchanged.
 	tenantStats func() []tenant.Snapshot
+	// schedStats, when set, supplies the fair queue's snapshot at render
+	// time (per-lane depths); nil omits the hetwired_sched_* section.
+	schedStats func() SchedSnapshot
 	// loadShedTotal counts load-shed engagements by the overload watchdog.
 	loadShedTotal atomic.Uint64
 
@@ -103,6 +106,29 @@ type Metrics struct {
 	// phases holds one latency histogram per job phase (queue_wait, sim_run,
 	// ...); keys come from the daemon's fixed span-name set.
 	phases map[string]*stats.Histogram
+	// tenantSLO holds the per-tenant SLO ledgers (good/bad counters, latency
+	// histograms, burn-rate minute buckets) for tenants with a configured
+	// latency objective. Bounded by maxTenantLabels with overflow folding,
+	// like every tenant-labelled series.
+	tenantSLO map[string]*sloState
+}
+
+// sloState is one tenant's SLO ledger. good/bad are lifetime counters; the
+// minute-bucket ring backs the multi-window burn-rate gauges (5m and 1h fit
+// in 60 slots).
+type sloState struct {
+	targetPct float64
+	good, bad uint64
+	e2e       *stats.Histogram // end-to-end wall, microseconds
+	qwait     *stats.Histogram // queue wait, microseconds
+	buckets   [60]sloBucket
+}
+
+// sloBucket is one minute of good/bad counts; minute is the absolute Unix
+// minute the slot currently holds, so stale laps self-invalidate.
+type sloBucket struct {
+	minute    int64
+	good, bad uint64
 }
 
 type endpointMetrics struct {
@@ -120,7 +146,51 @@ func NewMetrics(workers int, now time.Time) *Metrics {
 		endpoints:       make(map[string]*endpointMetrics),
 		rejected:        make(map[string]uint64),
 		phases:          make(map[string]*stats.Histogram),
+		tenantSLO:       make(map[string]*sloState),
 	}
+}
+
+// ObserveSLO folds one terminal job into its tenant's SLO ledger: the
+// good/bad verdict, the end-to-end and queue-wait latency samples, and the
+// minute bucket backing the burn-rate windows. Tenants past the label cap
+// fold into the overflow label.
+func (m *Metrics) ObserveSLO(tenantName string, targetPct float64, good bool, e2e, queueWait time.Duration, now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.tenantSLO[tenantName]
+	if !ok && len(m.tenantSLO) >= maxTenantLabels {
+		tenantName = overflowLabel
+		st, ok = m.tenantSLO[tenantName]
+	}
+	if !ok {
+		st = &sloState{
+			targetPct: targetPct,
+			e2e:       stats.NewHistogram(latBuckets, latBucketWidth),
+			qwait:     stats.NewHistogram(latBuckets, latBucketWidth),
+		}
+		m.tenantSLO[tenantName] = st
+	}
+	st.targetPct = targetPct
+	minute := now.Unix() / 60
+	b := &st.buckets[minute%60]
+	if b.minute != minute {
+		*b = sloBucket{minute: minute}
+	}
+	if good {
+		st.good++
+		b.good++
+	} else {
+		st.bad++
+		b.bad++
+	}
+	if e2e < 0 {
+		e2e = 0
+	}
+	if queueWait < 0 {
+		queueWait = 0
+	}
+	st.e2e.Observe(uint64(e2e / time.Microsecond))
+	st.qwait.Observe(uint64(queueWait / time.Microsecond))
 }
 
 // SetBuildInfo records the version labels for hetwired_build_info. Call once
@@ -285,7 +355,9 @@ func (m *Metrics) render(w io.Writer, queueDepth int, draining bool, cs CacheSta
 	}
 
 	m.renderCluster(w)
+	m.renderSched(w)
 	m.renderTenants(w)
+	m.renderSLO(w, now)
 	m.renderPhases(w)
 	m.renderEndpoints(w)
 }
@@ -300,6 +372,125 @@ func (m *Metrics) SetClusterStats(fn func() cluster.Stats) {
 // Call once before serving (tenancy-configured mode only).
 func (m *Metrics) SetTenantStats(fn func() []tenant.Snapshot) {
 	m.tenantStats = fn
+}
+
+// SetSchedStats wires the fair queue's snapshot into the exposition. Call
+// once before serving.
+func (m *Metrics) SetSchedStats(fn func() SchedSnapshot) {
+	m.schedStats = fn
+}
+
+// renderSched emits the scheduler gauges: queued jobs per lane plus the
+// bulk-slot occupancy, from the fair queue's own snapshot.
+func (m *Metrics) renderSched(w io.Writer) {
+	if m.schedStats == nil {
+		return
+	}
+	snap := m.schedStats()
+	lanes := make([]string, 0, len(snap.LaneDepth))
+	for lane := range snap.LaneDepth {
+		lanes = append(lanes, lane)
+	}
+	sort.Strings(lanes)
+	fmt.Fprintf(w, "# HELP hetwired_sched_lane_depth Jobs queued per scheduler lane.\n# TYPE hetwired_sched_lane_depth gauge\n")
+	for _, lane := range lanes {
+		fmt.Fprintf(w, "hetwired_sched_lane_depth{lane=%q} %d\n", lane, snap.LaneDepth[lane])
+	}
+	fmt.Fprintf(w, "# HELP hetwired_sched_bulk_running Bulk-lane jobs currently dispatched, and the cap that reserves a worker for the interactive lane.\n# TYPE hetwired_sched_bulk_running gauge\n")
+	fmt.Fprintf(w, "hetwired_sched_bulk_running %d\n", snap.BulkRunning)
+	fmt.Fprintf(w, "# HELP hetwired_sched_bulk_cap Maximum bulk-lane jobs dispatched concurrently.\n# TYPE hetwired_sched_bulk_cap gauge\n")
+	fmt.Fprintf(w, "hetwired_sched_bulk_cap %d\n", snap.BulkCap)
+}
+
+// sloWindowBad sums a window of minute buckets ending at nowMinute and
+// returns the bad fraction plus whether any sample fell in the window.
+func (st *sloState) sloWindowBad(nowMinute int64, minutes int64) (float64, bool) {
+	var good, bad uint64
+	for i := range st.buckets {
+		b := &st.buckets[i]
+		if b.minute > nowMinute-minutes && b.minute <= nowMinute {
+			good += b.good
+			bad += b.bad
+		}
+	}
+	total := good + bad
+	if total == 0 {
+		return 0, false
+	}
+	return float64(bad) / float64(total), true
+}
+
+// renderSLO emits the per-tenant SLO series: the objective, lifetime
+// good/bad verdict counters, multi-window burn rates, and the end-to-end and
+// queue-wait latency histograms. Burn rate is the observed bad fraction over
+// the window divided by the error budget (1 - target); 1.0 means the tenant
+// is consuming its budget exactly at the allowed rate, >1 means faster.
+func (m *Metrics) renderSLO(w io.Writer, now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.tenantSLO) == 0 {
+		return
+	}
+	names := make([]string, 0, len(m.tenantSLO))
+	for n := range m.tenantSLO {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	nowMinute := now.Unix() / 60
+
+	fmt.Fprintf(w, "# HELP hetwired_slo_target_pct Configured latency-objective target percentage per tenant.\n# TYPE hetwired_slo_target_pct gauge\n")
+	for _, n := range names {
+		fmt.Fprintf(w, "hetwired_slo_target_pct{tenant=%q} %g\n", n, m.tenantSLO[n].targetPct)
+	}
+	fmt.Fprintf(w, "# HELP hetwired_slo_requests_total Terminal jobs per tenant by SLO verdict.\n# TYPE hetwired_slo_requests_total counter\n")
+	for _, n := range names {
+		st := m.tenantSLO[n]
+		fmt.Fprintf(w, "hetwired_slo_requests_total{tenant=%q,verdict=\"good\"} %d\n", n, st.good)
+		fmt.Fprintf(w, "hetwired_slo_requests_total{tenant=%q,verdict=\"bad\"} %d\n", n, st.bad)
+	}
+	fmt.Fprintf(w, "# HELP hetwired_slo_burn_rate Error-budget burn rate per tenant and window (1.0 = budget consumed exactly at the allowed rate).\n# TYPE hetwired_slo_burn_rate gauge\n")
+	for _, n := range names {
+		st := m.tenantSLO[n]
+		budget := 1 - st.targetPct/100
+		for _, win := range []struct {
+			label   string
+			minutes int64
+		}{{"5m", 5}, {"1h", 60}} {
+			badFrac, ok := st.sloWindowBad(nowMinute, win.minutes)
+			rate := 0.0
+			if ok && budget > 0 {
+				rate = badFrac / budget
+			}
+			fmt.Fprintf(w, "hetwired_slo_burn_rate{tenant=%q,window=%q} %g\n", n, win.label, rate)
+		}
+	}
+
+	for _, series := range []struct {
+		name, help string
+		hist       func(*sloState) *stats.Histogram
+	}{
+		{"hetwired_tenant_e2e_latency_seconds", "End-to-end job latency (queue wait included) per SLO tenant.",
+			func(st *sloState) *stats.Histogram { return st.e2e }},
+		{"hetwired_tenant_queue_wait_seconds", "Queue wait per SLO tenant.",
+			func(st *sloState) *stats.Histogram { return st.qwait }},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", series.name, series.help, series.name)
+		cumBuf := make([]stats.CumBucket, 0, latBuckets+1)
+		for _, n := range names {
+			h := series.hist(m.tenantSLO[n])
+			cumBuf = h.AppendCumulative(cumBuf[:0])
+			for _, b := range cumBuf {
+				if b.Inf {
+					fmt.Fprintf(w, "%s_bucket{tenant=%q,le=\"+Inf\"} %d\n", series.name, n, b.Count)
+					continue
+				}
+				le := float64(b.UpperBound+1) / 1e6
+				fmt.Fprintf(w, "%s_bucket{tenant=%q,le=\"%g\"} %d\n", series.name, n, le, b.Count)
+			}
+			fmt.Fprintf(w, "%s_sum{tenant=%q} %g\n", series.name, n, float64(h.Sum)/1e6)
+			fmt.Fprintf(w, "%s_count{tenant=%q} %d\n", series.name, n, h.Count)
+		}
+	}
 }
 
 // renderTenants emits the hetwired_tenant_* series from the registry

@@ -81,7 +81,7 @@ func TestFairQueueWeightedShares(t *testing.T) {
 		t.Fatal("beta not registered")
 	}
 
-	q := newFairQueue(64, 2, false)
+	q := newFairQueue(64, 2, false, nil)
 	stub := func(tn *tenant.Tenant) *Job { return &Job{tenant: tn, lane: laneBulk} }
 	for _, tn := range []*tenant.Tenant{alpha, beta} {
 		if err := q.push(stub(tn)); err != nil {

@@ -1,10 +1,14 @@
 package server
 
 import (
+	"expvar"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hetwire"
+	"hetwire/internal/obs/flight"
 	"hetwire/internal/tenant"
 )
 
@@ -81,6 +85,10 @@ type fairQueue struct {
 	// the fair path's overhead against.
 	fifo bool
 
+	// flight receives a KindDispatch event per scheduling decision; nil-safe
+	// (a nil *Recorder records nothing at the cost of one pointer compare).
+	flight *flight.Recorder
+
 	depth       int
 	bulkRunning int
 	seq         uint64
@@ -93,7 +101,7 @@ type fairQueue struct {
 	closed  bool
 }
 
-func newFairQueue(maxDepth, workers int, fifo bool) *fairQueue {
+func newFairQueue(maxDepth, workers int, fifo bool, fr *flight.Recorder) *fairQueue {
 	bulkCap := workers - 1
 	if bulkCap < 1 {
 		bulkCap = 1
@@ -102,6 +110,7 @@ func newFairQueue(maxDepth, workers int, fifo bool) *fairQueue {
 		maxDepth: maxDepth,
 		bulkCap:  bulkCap,
 		fifo:     fifo,
+		flight:   fr,
 		tenants:  make(map[string]*tenantQueue),
 	}
 	q.cond = sync.NewCond(&q.mu)
@@ -235,6 +244,14 @@ func (q *fairQueue) takeLocked(tq *tenantQueue, lane jobLane) *Job {
 		q.vfloor = tq.vtime
 	}
 	j.tenant.DecQueued()
+	q.flight.Record(flight.Event{
+		Kind:   flight.KindDispatch,
+		Trace:  j.TraceID,
+		Tenant: tq.tn.Name(),
+		Job:    j.ID,
+		Lane:   lane.String(),
+		VTime:  tq.vtime,
+	})
 	return j
 }
 
@@ -276,4 +293,85 @@ func (q *fairQueue) depthNow() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.depth
+}
+
+// SchedTenantSnapshot is one tenant's scheduler state as exposed over
+// expvar: the start-time-fair-queueing internals that were previously
+// observable only by reading sched.go.
+type SchedTenantSnapshot struct {
+	Tenant      string  `json:"tenant"`
+	Weight      float64 `json:"weight"`
+	VTime       float64 `json:"vtime"`
+	Queued      int     `json:"queued"`
+	Interactive int     `json:"interactive"`
+	Bulk        int     `json:"bulk"`
+	LastSeq     uint64  `json:"last_seq"`
+}
+
+// SchedSnapshot is a point-in-time view of the fair queue for expvar and
+// the hetwired_sched_lane_depth metrics.
+type SchedSnapshot struct {
+	FIFO        bool                  `json:"fifo"`
+	Depth       int                   `json:"depth"`
+	BulkRunning int                   `json:"bulk_running"`
+	BulkCap     int                   `json:"bulk_cap"`
+	VFloor      float64               `json:"vfloor"`
+	Seq         uint64                `json:"seq"`
+	LaneDepth   map[string]int        `json:"lane_depth"`
+	Tenants     []SchedTenantSnapshot `json:"tenants,omitempty"`
+}
+
+// snapshot captures the queue state under the lock; tenants are sorted by
+// name so the output is deterministic.
+func (q *fairQueue) snapshot() SchedSnapshot {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := SchedSnapshot{
+		FIFO:        q.fifo,
+		Depth:       q.depth,
+		BulkRunning: q.bulkRunning,
+		BulkCap:     q.bulkCap,
+		VFloor:      q.vfloor,
+		Seq:         q.seq,
+		LaneDepth:   map[string]int{laneInteractive.String(): 0, laneBulk.String(): 0},
+	}
+	if q.fifo {
+		s.LaneDepth[laneBulk.String()] = len(q.fifoQ)
+		return s
+	}
+	for name, tq := range q.tenants {
+		s.LaneDepth[laneInteractive.String()] += len(tq.lanes[laneInteractive])
+		s.LaneDepth[laneBulk.String()] += len(tq.lanes[laneBulk])
+		s.Tenants = append(s.Tenants, SchedTenantSnapshot{
+			Tenant:      name,
+			Weight:      tq.weight,
+			VTime:       tq.vtime,
+			Queued:      tq.queued,
+			Interactive: len(tq.lanes[laneInteractive]),
+			Bulk:        len(tq.lanes[laneBulk]),
+			LastSeq:     tq.lastSeq,
+		})
+	}
+	sort.Slice(s.Tenants, func(i, j int) bool { return s.Tenants[i].Tenant < s.Tenants[j].Tenant })
+	return s
+}
+
+// expvar.Publish panics on duplicate names and server.New runs many times
+// per test binary, so the "hetwired_sched" var is published once and
+// repointed at the newest queue via an atomic pointer.
+var (
+	schedExpvarOnce  sync.Once
+	schedExpvarQueue atomic.Pointer[fairQueue]
+)
+
+func publishSchedExpvar(q *fairQueue) {
+	schedExpvarQueue.Store(q)
+	schedExpvarOnce.Do(func() {
+		expvar.Publish("hetwired_sched", expvar.Func(func() any {
+			if cur := schedExpvarQueue.Load(); cur != nil {
+				return cur.snapshot()
+			}
+			return nil
+		}))
+	})
 }

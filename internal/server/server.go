@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime/debug"
 	"strconv"
 	"strings"
@@ -40,7 +42,9 @@ import (
 	"hetwire/internal/batch"
 	"hetwire/internal/cluster"
 	"hetwire/internal/config"
+	"hetwire/internal/core"
 	"hetwire/internal/faultinject"
+	"hetwire/internal/obs/flight"
 	"hetwire/internal/tenant"
 	"hetwire/internal/wire"
 )
@@ -90,6 +94,15 @@ type Options struct {
 	// Faults optionally wires the deterministic fault-injection harness into
 	// the worker path (chaos tests, HETWIRE_FAULTS). Nil injects nothing.
 	Faults *faultinject.Injector
+	// FlightEvents sizes the always-on flight recorder's event ring
+	// (rounded up to a power of two). Zero selects flight.DefaultEvents;
+	// a negative value disables the recorder entirely (nil-recorder fast
+	// path: one pointer compare per would-be event).
+	FlightEvents int
+	// FlightDir, when set, is where the recorder auto-dumps on worker panic
+	// or watchdog stall (flight-<reason>-<seq>.jsonl). Empty disables
+	// auto-dumps; GET /v1/debug/flight still works.
+	FlightDir string
 	// Cluster, when set, runs the daemon as a cluster coordinator: the
 	// /v1/cluster endpoints come up and batch jobs execute on registered
 	// worker nodes instead of the local CPU pool. Nil keeps the daemon
@@ -161,6 +174,10 @@ type Server struct {
 	// shed is the overload watchdog's latch: while set, bulk-lane
 	// submissions are rejected with reason load_shed.
 	shed atomic.Bool
+	// flight is the always-on flight recorder; nil when disabled
+	// (Options.FlightEvents < 0), in which case every Record call is one
+	// pointer compare.
+	flight *flight.Recorder
 	// coord is the cluster coordinator; nil unless Options.Cluster was set.
 	coord        *cluster.Coordinator
 	clusterToken string
@@ -181,20 +198,28 @@ type Server struct {
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	var fr *flight.Recorder
+	if opts.FlightEvents >= 0 {
+		fr = flight.New(opts.FlightEvents)
+	}
 	s := &Server{
 		opts:    opts,
-		queue:   newFairQueue(opts.QueueDepth, opts.Workers, opts.FIFOScheduler),
+		queue:   newFairQueue(opts.QueueDepth, opts.Workers, opts.FIFOScheduler, fr),
 		cache:   NewCache(opts.CacheBytes),
 		metrics: NewMetrics(opts.Workers, time.Now()),
 		tenants: tenant.NewRegistry(opts.Tenants),
+		flight:  fr,
 		baseCtx: ctx,
 		stop:    cancel,
 		jobs:    make(map[string]*Job),
 		idem:    make(map[string]string),
 	}
+	s.cache.setFlight(fr)
 	if opts.Tenants != nil {
 		s.metrics.SetTenantStats(s.tenants.Snapshots)
 	}
+	s.metrics.SetSchedStats(s.queue.snapshot)
+	publishSchedExpvar(s.queue)
 	s.mux = http.NewServeMux()
 	s.route("POST", "/v1/run", s.handleRunSync)
 	s.route("POST", "/v1/jobs", s.handleSubmit)
@@ -203,6 +228,8 @@ func New(opts Options) *Server {
 	s.route("GET", "/v1/jobs/{id}/stream", s.handleStreamJob)
 	s.route("DELETE", "/v1/jobs/{id}", s.handleCancelJob)
 	s.route("GET", "/v1/catalog", s.handleCatalog)
+	s.route("GET", "/v1/debug/flight", s.handleDebugFlight)
+	s.route("GET", "/v1/tenants/usage", s.handleTenantsUsage)
 	s.route("GET", "/healthz", s.handleHealthz)
 	s.route("GET", "/metrics", s.handleMetrics)
 	if opts.Cluster != nil {
@@ -324,6 +351,13 @@ func (s *Server) worker(slot int) {
 			stack := debug.Stack()
 			now := time.Now()
 			if current != nil {
+				s.flight.Record(flight.Event{
+					Kind:   flight.KindPanic,
+					Trace:  current.TraceID,
+					Tenant: current.tenant.Name(),
+					Job:    current.ID,
+					Detail: fmt.Sprint(r),
+				})
 				current.finishPanic(r, stack, now)
 				s.queue.finished(current) // release the bulk-dispatch slot
 				current.tenant.CountTerminal(string(StateFailed))
@@ -333,8 +367,10 @@ func (s *Server) worker(slot int) {
 				s.opts.Logger.Printf("job id=%s kind=%s tenant=%s state=failed trace=%s panic=%q (worker respawning)",
 					current.ID, current.Kind, current.tenant.Name(), current.TraceID, fmt.Sprint(r))
 			} else {
+				s.flight.Record(flight.Event{Kind: flight.KindPanic, Detail: fmt.Sprint(r)})
 				s.opts.Logger.Printf("worker panic outside a job: %v (respawning)", r)
 			}
+			s.autoDumpFlight("panic")
 			s.metrics.jobsPanicked.Add(1)
 			s.metrics.workersRespawned.Add(1)
 			s.wg.Add(1)
@@ -403,6 +439,20 @@ func (s *Server) runJob(job *Job) {
 	now := time.Now()
 	job.finish(body, hit, ipcOf(body), err, now)
 
+	// A forward-progress watchdog abort is the "stall" incident class: record
+	// it and preserve the ring on disk, exactly like a panic.
+	var np *core.NoProgressError
+	if errors.As(err, &np) {
+		s.flight.Record(flight.Event{
+			Kind:   flight.KindStall,
+			Trace:  job.TraceID,
+			Tenant: job.tenant.Name(),
+			Job:    job.ID,
+			Detail: np.Error(),
+		})
+		s.autoDumpFlight("stall")
+	}
+
 	state := job.State()
 	switch state {
 	case StateDone:
@@ -424,6 +474,16 @@ func (s *Server) runJob(job *Job) {
 	s.queue.charge(job, simCPU)
 	st := job.Status(false)
 	s.metrics.ObserveJobWall(now.Sub(st.Submitted))
+	// SLO accounting: a job counts good when it finished Done within the
+	// tenant's latency objective, measured end-to-end (queue wait included —
+	// that is what the client experiences). Cancelled jobs are the client's
+	// own doing and count neither way.
+	if sloMS, sloTarget := job.tenant.SLO(); sloMS > 0 && state != StateCancelled {
+		e2e := now.Sub(st.Submitted)
+		good := state == StateDone && float64(e2e)/float64(time.Millisecond) <= sloMS
+		s.metrics.ObserveSLO(job.tenant.Name(), sloTarget, good, e2e,
+			time.Duration(st.QueueMS*float64(time.Millisecond)), now)
+	}
 	s.opts.Logger.Printf("job id=%s kind=%s tenant=%s lane=%s state=%s trace=%s cache_hit=%t wall_ms=%.1f sim_cpu_ms=%.1f ipc=%.3f err=%q",
 		job.ID, job.Kind, job.tenant.Name(), job.lane, state, job.TraceID, st.CacheHit,
 		float64(now.Sub(start))/float64(time.Millisecond), float64(simCPU)/float64(time.Millisecond), st.IPC, st.Error)
@@ -505,6 +565,17 @@ func (s *Server) runCached(ctx context.Context, req *hetwire.RunRequest, spans *
 		spans.observe(spanCacheLookup, lookupStart, d)
 	} else {
 		spans.observe(spanCacheLookup, lookupStart, 0)
+	}
+	if err == nil {
+		kind := flight.KindCacheMiss
+		if hit {
+			kind = flight.KindCacheHit
+		}
+		ev := flight.Event{Kind: kind, Trace: hetwire.TraceIDFrom(ctx)}
+		if tn := tenant.FromContext(ctx); tn != nil {
+			ev.Tenant = tn.Name()
+		}
+		s.flight.Record(ev)
 	}
 	if err == nil && !hit && s.opts.Faults.Should(faultinject.CacheCorrupt) {
 		s.cache.CorruptEntry(key)
@@ -846,6 +917,13 @@ func (s *Server) submit(sub *submitRequest, tn *tenant.Tenant, idemKey, traceID 
 	}
 	s.metrics.jobsSubmitted.Add(1)
 	tn.CountSubmitted()
+	s.flight.Record(flight.Event{
+		Kind:   flight.KindAdmit,
+		Trace:  job.TraceID,
+		Tenant: tn.Name(),
+		Job:    job.ID,
+		Lane:   job.lane.String(),
+	})
 	return job, false, nil
 }
 
@@ -1009,10 +1087,18 @@ func (s *Server) handleRunSync(w http.ResponseWriter, r *http.Request) {
 		// the stored frame copied straight out of the cache — zero decode, zero
 		// re-encode. Everyone else gets the JSON debug view, rendered lazily.
 		if acceptsWire(r) {
+			s.flight.Record(flight.Event{
+				Kind: flight.KindZeroDecode, Trace: job.TraceID,
+				Tenant: tn.Name(), Job: job.ID,
+			})
 			w.Header().Set("Content-Type", wire.ContentType)
 			w.Write(job.RawResult())
 			return
 		}
+		s.flight.Record(flight.Event{
+			Kind: flight.KindWireDecode, Trace: job.TraceID,
+			Tenant: tn.Name(), Job: job.ID,
+		})
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(job.Status(true).Result)
 	case StateCancelled:
@@ -1096,6 +1182,60 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	writeJSON(w, map[string]any{"status": "ok"})
+}
+
+// handleDebugFlight dumps the flight recorder's surviving event window.
+// ?canon=1 clears the measured fields (VTime, DurMS) so two identical runs
+// dump byte-identical files — the determinism contract CI pins with cmp.
+// Content negotiation mirrors the result path: binary clients get the dump
+// wrapped in TypeFlightRecord frames, everyone else gets JSONL.
+func (s *Server) handleDebugFlight(w http.ResponseWriter, r *http.Request) {
+	if !s.flight.Enabled() {
+		httpError(w, http.StatusNotFound, errors.New("flight recorder disabled (-flight-events < 0)"))
+		return
+	}
+	events := s.flight.Snapshot()
+	if r.URL.Query().Get("canon") == "1" {
+		events = flight.Canonical(events)
+	}
+	if acceptsWire(r) {
+		w.Header().Set("Content-Type", wire.ContentType)
+		fw := wire.NewFlightWriter(w)
+		if err := flight.WriteDump(fw, "hetwired", events); err == nil {
+			fw.Close()
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flight.WriteDump(w, "hetwired", events)
+}
+
+// handleTenantsUsage surfaces the per-tenant accounting ledgers (submission,
+// terminal-state, sim-CPU, and cache-byte counters plus the live queue/
+// in-flight gauges) as JSON — the ops-plane view of who is spending what.
+func (s *Server) handleTenantsUsage(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{"tenants": s.tenants.Snapshots()})
+}
+
+// autoDumpFlight preserves the recorder ring on disk after an incident
+// (worker panic, watchdog stall). Best-effort: dump failures are logged,
+// never propagated — the incident path must not gain new failure modes.
+func (s *Server) autoDumpFlight(reason string) {
+	if !s.flight.Enabled() || s.opts.FlightDir == "" {
+		return
+	}
+	name := filepath.Join(s.opts.FlightDir, fmt.Sprintf("flight-%s-%d.jsonl", reason, s.flight.Seq()))
+	f, err := os.Create(name)
+	if err != nil {
+		s.opts.Logger.Printf("flight: auto-dump %s: %v", name, err)
+		return
+	}
+	defer f.Close()
+	if err := flight.WriteDump(f, "hetwired", s.flight.Snapshot()); err != nil {
+		s.opts.Logger.Printf("flight: auto-dump %s: %v", name, err)
+		return
+	}
+	s.opts.Logger.Printf("flight: dumped recorder to %s (reason=%s)", name, reason)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hetwire"
+	"hetwire/internal/obs/flight"
 	"hetwire/internal/tenant"
 )
 
@@ -38,9 +39,12 @@ func (s *Server) resolveTenant(r *http.Request) (*tenant.Tenant, error) {
 // per-reason rejection counters.
 func (s *Server) reject(tn *tenant.Tenant, reason string) {
 	s.metrics.ObserveRejection(reason)
+	ev := flight.Event{Kind: flight.KindReject, Reason: reason}
 	if tn != nil {
 		tn.CountRejection(reason)
+		ev.Tenant = tn.Name()
 	}
+	s.flight.Record(ev)
 }
 
 // retryAfterFor picks the Retry-After for a 429: a tenant_rate_limited
@@ -91,6 +95,8 @@ func (s *Server) shedMonitor() {
 			if depth <= low {
 				s.shed.Store(false)
 				hot = 0
+				s.flight.Record(flight.Event{Kind: flight.KindShedRelease,
+					Detail: fmt.Sprintf("depth=%d low_water=%d", depth, low)})
 				s.opts.Logger.Printf("load-shed cleared depth=%d low_water=%d", depth, low)
 			}
 		case depth >= high:
@@ -98,6 +104,8 @@ func (s *Server) shedMonitor() {
 			if hot >= need {
 				s.shed.Store(true)
 				s.metrics.loadShedTotal.Add(1)
+				s.flight.Record(flight.Event{Kind: flight.KindShedEngage,
+					Detail: fmt.Sprintf("depth=%d high_water=%d", depth, high)})
 				s.opts.Logger.Printf("load-shed engaged depth=%d high_water=%d window=%s (bulk lane rejected until depth<=%d)",
 					depth, high, s.opts.ShedWindow, low)
 			}
@@ -114,6 +122,10 @@ func (s *Server) Shedding() bool { return s.shed.Load() }
 func (s *Server) setShed(on bool) {
 	if on && !s.shed.Load() {
 		s.metrics.loadShedTotal.Add(1)
+		s.flight.Record(flight.Event{Kind: flight.KindShedEngage, Detail: "forced"})
+	}
+	if !on && s.shed.Load() {
+		s.flight.Record(flight.Event{Kind: flight.KindShedRelease, Detail: "forced"})
 	}
 	s.shed.Store(on)
 }

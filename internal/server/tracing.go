@@ -164,6 +164,11 @@ func NormalizeRoute(method, path string) string {
 		path = path[:i]
 	}
 	if rest, ok := strings.CutPrefix(path, "/v1/jobs/"); ok && rest != "" {
+		// The streaming sub-resource is its own served route and must not fold
+		// into the poll endpoint — their latency profiles are nothing alike.
+		if strings.HasSuffix(rest, "/stream") && !strings.Contains(strings.TrimSuffix(rest, "/stream"), "/") {
+			return method + " /v1/jobs/{id}/stream"
+		}
 		return method + " /v1/jobs/{id}"
 	}
 	if rest, ok := strings.CutPrefix(path, "/v1/cluster/"); ok {
@@ -174,7 +179,8 @@ func NormalizeRoute(method, path string) string {
 		return method + " other"
 	}
 	switch path {
-	case "/v1/run", "/v1/jobs", "/v1/catalog", "/healthz", "/metrics":
+	case "/v1/run", "/v1/jobs", "/v1/catalog", "/healthz", "/metrics",
+		"/v1/debug/flight", "/v1/tenants/usage":
 		return method + " " + path
 	}
 	return method + " other"

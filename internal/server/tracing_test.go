@@ -24,6 +24,12 @@ func TestNormalizeRoute(t *testing.T) {
 		{"GET", "/v1/jobs/j-000123", "GET /v1/jobs/{id}"},
 		{"DELETE", "/v1/jobs/j-000123", "DELETE /v1/jobs/{id}"},
 		{"GET", "/v1/jobs/j-000123?x=1", "GET /v1/jobs/{id}"},
+		{"GET", "/v1/jobs/j-000123/stream", "GET /v1/jobs/{id}/stream"},
+		{"GET", "/v1/jobs/j-000123/stream?from=4", "GET /v1/jobs/{id}/stream"},
+		{"GET", "/v1/jobs/j-1/x/stream", "GET /v1/jobs/{id}"}, // junk segments fold to the id route
+		{"GET", "/v1/debug/flight", "GET /v1/debug/flight"},
+		{"GET", "/v1/debug/flight?canon=1", "GET /v1/debug/flight"},
+		{"GET", "/v1/tenants/usage", "GET /v1/tenants/usage"},
 		{"POST", "/v1/run", "POST /v1/run"},
 		{"GET", "/healthz", "GET /healthz"},
 		{"GET", "/metrics", "GET /metrics"},
@@ -280,6 +286,19 @@ func TestMetricsRenderGolden(t *testing.T) {
 	m.ObservePhase(spanQueueWait, 2*time.Millisecond)
 	m.ObservePhase(spanSimRun, 40*time.Millisecond)
 	m.ObservePhase(spanSimRun, 90*time.Millisecond) // overflow bucket
+
+	// Scheduler gauges and the per-tenant SLO layer render from fixed inputs
+	// so the golden pins their exposition shape too.
+	m.SetSchedStats(func() SchedSnapshot {
+		return SchedSnapshot{
+			Depth:       4,
+			BulkRunning: 1,
+			BulkCap:     1,
+			LaneDepth:   map[string]int{"bulk": 3, "interactive": 1},
+		}
+	})
+	m.ObserveSLO("acme", 99, true, 40*time.Millisecond, 5*time.Millisecond, t0.Add(30*time.Second))
+	m.ObserveSLO("acme", 99, false, 900*time.Millisecond, 200*time.Millisecond, t0.Add(60*time.Second))
 
 	cs := CacheStats{Entries: 2, Bytes: 1024, Budget: 4096, Hits: 7, Coalesced: 1, Misses: 4, Evictions: 1}
 	var buf strings.Builder

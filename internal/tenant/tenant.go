@@ -41,6 +41,9 @@ const (
 	// MaxRatePerSec bounds the token-bucket refill rate so refill arithmetic
 	// stays well-conditioned.
 	MaxRatePerSec = 1e6
+	// MaxSLOMS bounds a latency objective to one hour; larger objectives are
+	// config typos, not serving goals.
+	MaxSLOMS = 3_600_000
 )
 
 // Spec is one tenant's declared identity and resource policy, as written in
@@ -68,6 +71,17 @@ type Spec struct {
 	// occupy, (0,1]; zero or 1 means no per-tenant cap. Rejections carry
 	// reason tenant_queue_share.
 	QueueShare float64 `json:"queue_share,omitempty"`
+	// SLOMS is the tenant's end-to-end latency objective in milliseconds:
+	// a completed request is "good" when its wall clock is at or under it.
+	// Zero means no SLO — the hetwired_slo_* counters and burn-rate gauges
+	// are not emitted for this tenant.
+	SLOMS float64 `json:"slo_ms,omitempty"`
+	// SLOTargetPct is the fraction of requests that must be good, in percent
+	// (default 99 when SLOMS is set). The burn-rate gauges divide the
+	// observed bad fraction by the implied error budget (1 - target), so a
+	// burn rate of 1.0 means the budget is being consumed exactly on
+	// schedule and anything higher is an incident signal.
+	SLOTargetPct float64 `json:"slo_target_pct,omitempty"`
 }
 
 // Config is the -tenants file: named tenants plus an optional policy block
@@ -168,6 +182,15 @@ func (s *Spec) validate(anonymous bool) error {
 	if s.QueueShare < 0 || s.QueueShare > 1 || math.IsNaN(s.QueueShare) {
 		return fmt.Errorf("queue_share %v out of range [0,1]", s.QueueShare)
 	}
+	if s.SLOMS < 0 || s.SLOMS > MaxSLOMS || math.IsNaN(s.SLOMS) {
+		return fmt.Errorf("slo_ms %v out of range [0,%d]", s.SLOMS, MaxSLOMS)
+	}
+	if s.SLOTargetPct < 0 || s.SLOTargetPct >= 100 || math.IsNaN(s.SLOTargetPct) {
+		return fmt.Errorf("slo_target_pct %v out of range [0,100)", s.SLOTargetPct)
+	}
+	if s.SLOTargetPct > 0 && s.SLOMS <= 0 {
+		return errors.New("slo_target_pct without slo_ms has no effect; drop it or set an objective")
+	}
 	return nil
 }
 
@@ -245,6 +268,20 @@ func (t *Tenant) Weight() int {
 		return 1
 	}
 	return t.spec.Weight
+}
+
+// SLO returns the tenant's latency objective in milliseconds and its target
+// percentage, defaulting the target to 99 when only slo_ms is set. Both are
+// zero when the tenant has no SLO configured.
+func (t *Tenant) SLO() (ms, targetPct float64) {
+	if t.spec.SLOMS <= 0 {
+		return 0, 0
+	}
+	target := t.spec.SLOTargetPct
+	if target <= 0 {
+		target = 99
+	}
+	return t.spec.SLOMS, target
 }
 
 // QueueShareCap resolves the tenant's queue-slot cap against the global
@@ -351,10 +388,13 @@ func (t *Tenant) SimCPU() time.Duration {
 	return time.Duration(t.simCPUNanos.Load())
 }
 
-// Snapshot is a point-in-time copy of one tenant's counters for /metrics.
+// Snapshot is a point-in-time copy of one tenant's counters for /metrics
+// and the /v1/tenants/usage report.
 type Snapshot struct {
 	Name       string
 	Weight     int
+	SLOMS      float64
+	SLOTarget  float64
 	SimCPU     time.Duration
 	Queued     int64
 	InFlight   int64
@@ -368,9 +408,12 @@ type Snapshot struct {
 
 // Snapshot copies the tenant's counters.
 func (t *Tenant) Snapshot() Snapshot {
+	sloMS, sloTarget := t.SLO()
 	sn := Snapshot{
 		Name:       t.Name(),
 		Weight:     t.Weight(),
+		SLOMS:      sloMS,
+		SLOTarget:  sloTarget,
 		SimCPU:     t.SimCPU(),
 		Queued:     t.queued.Load(),
 		InFlight:   t.inFlight.Load(),

@@ -1,0 +1,147 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// AppendFlightRecord wraps one canonical hetwire-flight/v1 JSONL line (no
+// trailing newline) as a TypeFlightRecord frame with stream position index.
+// The framing mirrors AppendTraceRecord: the line bytes pass through
+// unchanged, so a dump round-tripped through the binary container is
+// byte-identical to the JSONL dump and the `cmp` determinism check holds in
+// both formats.
+func AppendFlightRecord(dst []byte, index uint32, line []byte) ([]byte, error) {
+	e := &enc{}
+	e.b = append(e.b, line...)
+	return e.seal(TypeFlightRecord, 0, index, 0, dst)
+}
+
+// DecodeFlightRecord decodes a TypeFlightRecord frame into its stream
+// position and the wrapped JSONL line.
+func DecodeFlightRecord(frame []byte) (uint32, []byte, error) {
+	h, payload, err := checkFrame(frame)
+	if err != nil {
+		return 0, nil, err
+	}
+	if h.Type != TypeFlightRecord {
+		return 0, nil, fmt.Errorf("wire: frame type %#02x is not a flight record", h.Type)
+	}
+	if h.Flags != 0 || h.Summary != 0 {
+		return 0, nil, fmt.Errorf("wire: flight record frame has nonzero flags/summary")
+	}
+	return h.Index, append([]byte(nil), payload...), nil
+}
+
+// FlightWriter wraps a hetwire-flight/v1 JSONL dump into TypeFlightRecord
+// frames, one per line, numbered 0,1,2,… — the binary container behind
+// GET /v1/debug/flight content negotiation.
+type FlightWriter struct {
+	w   io.Writer
+	buf []byte
+	seq uint32
+	err error
+}
+
+// NewFlightWriter returns a writer that frames JSONL lines written to it
+// into w. Close flushes any final unterminated line.
+func NewFlightWriter(w io.Writer) *FlightWriter { return &FlightWriter{w: w} }
+
+// Write buffers p and emits one frame per completed line.
+func (fw *FlightWriter) Write(p []byte) (int, error) {
+	if fw.err != nil {
+		return 0, fw.err
+	}
+	fw.buf = append(fw.buf, p...)
+	for {
+		nl := bytes.IndexByte(fw.buf, '\n')
+		if nl < 0 {
+			return len(p), nil
+		}
+		if err := fw.emit(fw.buf[:nl]); err != nil {
+			return 0, err
+		}
+		fw.buf = fw.buf[nl+1:]
+	}
+}
+
+func (fw *FlightWriter) emit(line []byte) error {
+	frame, err := AppendFlightRecord(nil, fw.seq, line)
+	if err == nil {
+		_, err = fw.w.Write(frame)
+	}
+	if err != nil {
+		fw.err = err
+		return err
+	}
+	fw.seq++
+	return nil
+}
+
+// Close flushes a trailing unterminated line, if any. It does not close
+// the underlying writer.
+func (fw *FlightWriter) Close() error {
+	if fw.err != nil {
+		return fw.err
+	}
+	if len(fw.buf) > 0 {
+		if err := fw.emit(fw.buf); err != nil {
+			return err
+		}
+		fw.buf = nil
+	}
+	return nil
+}
+
+// flightReader converts a TypeFlightRecord frame stream back into the JSONL
+// dump it wrapped, validating frame integrity and gap-free numbering.
+type flightReader struct {
+	r       *Reader
+	pending []byte
+	next    uint32
+	err     error
+	eof     bool
+}
+
+// NewFlightReader returns an io.Reader yielding the JSONL dump wrapped in a
+// binary flight container.
+func NewFlightReader(r io.Reader) io.Reader { return &flightReader{r: NewReader(r)} }
+
+func (fr *flightReader) Read(p []byte) (int, error) {
+	for len(fr.pending) == 0 {
+		if fr.err != nil {
+			return 0, fr.err
+		}
+		if fr.eof {
+			return 0, io.EOF
+		}
+		h, frame, err := fr.r.Next()
+		if err == io.EOF {
+			fr.eof = true
+			return 0, io.EOF
+		}
+		if err != nil {
+			fr.err = err
+			return 0, err
+		}
+		if h.Type != TypeFlightRecord {
+			fr.err = fmt.Errorf("wire: frame type %#02x inside a flight container", h.Type)
+			return 0, fr.err
+		}
+		seq, line, err := DecodeFlightRecord(frame)
+		if err != nil {
+			fr.err = err
+			return 0, err
+		}
+		if seq != fr.next {
+			fr.err = fmt.Errorf("wire: flight record %d arrived where %d was expected", seq, fr.next)
+			return 0, fr.err
+		}
+		fr.next++
+		fr.pending = append(line, '\n')
+	}
+	n := copy(p, fr.pending)
+	fr.pending = fr.pending[n:]
+	return n, nil
+}

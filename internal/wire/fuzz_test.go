@@ -116,6 +116,12 @@ func FuzzWireDecode(f *testing.F) {
 				t.Fatalf("accepted trace record does not re-encode identically (%v)", err)
 			}
 		}
+		if seq, line, err := DecodeFlightRecord(data); err == nil {
+			again, err := AppendFlightRecord(nil, seq, line)
+			if err != nil || !bytes.Equal(again, data) {
+				t.Fatalf("accepted flight record does not re-encode identically (%v)", err)
+			}
+		}
 		if uh, err := DecodeUploadHeader(data); err == nil {
 			again, err := AppendUploadHeader(nil, uh)
 			if err != nil || !bytes.Equal(again, data) {

@@ -73,6 +73,10 @@ const (
 	TypeUploadHeader byte = 0x06
 	// TypeUploadResult is one scenario outcome inside a cluster upload.
 	TypeUploadResult byte = 0x07
+	// TypeFlightRecord wraps one canonical hetwire-flight/v1 JSONL line
+	// (a flight-recorder dump header or event); the header index is the
+	// record's position in the dump stream.
+	TypeFlightRecord byte = 0x08
 )
 
 // Flag bits, meaningful per frame type; all other bits must be zero.
