@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Regression thresholds for -check. Throughput is compared as a geomean
+// ratio across matched scenarios, so a single noisy row cannot fail the
+// gate on its own; allocations are near-deterministic and get a much
+// tighter band that still absorbs MemStats jitter.
+const (
+	checkMaxSlowdown   = 0.90 // new geomean instrs/s must be ≥ 90% of old
+	checkMaxAllocsRise = 1.05 // new geomean allocs/instr must be ≤ 105% of old
+)
+
+// runCheck implements `benchreport -check old.json new.json`: it matches
+// scenarios by (model, topology, benchmark), prints the per-scenario
+// throughput and allocation ratios, and exits nonzero if the aggregate
+// throughput regressed by more than 10% or allocs/instr rose. Scenario
+// instruction counts may differ between the files — instrs/s and
+// allocs/instr are already per-instruction rates.
+func runCheck(oldPath, newPath string) int {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport: -check:", err)
+		return 2
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport: -check:", err)
+		return 2
+	}
+
+	oldBy := map[Scenario]Measurement{}
+	for _, m := range oldRep.Scenarios {
+		key := m.Scenario
+		key.N = 0 // match on identity, not instruction count
+		oldBy[key] = m
+	}
+
+	var logSpeed, logAllocs float64
+	matched, allocPairs := 0, 0
+	for _, nm := range newRep.Scenarios {
+		key := nm.Scenario
+		key.N = 0
+		om, ok := oldBy[key]
+		if !ok {
+			continue
+		}
+		matched++
+		r := nm.InstrsPerSec / om.InstrsPerSec
+		logSpeed += math.Log(r)
+		line := fmt.Sprintf("%-5s %-10s %-6s speed %6.2fx", key.Model, key.Topology, key.Benchmark, r)
+		if om.AllocsPerInstr > 0 && nm.AllocsPerInstr > 0 {
+			ar := nm.AllocsPerInstr / om.AllocsPerInstr
+			logAllocs += math.Log(ar)
+			allocPairs++
+			line += fmt.Sprintf("  allocs %6.2fx", ar)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "benchreport: -check: no matching scenarios between the two files")
+		return 2
+	}
+
+	speedGeo := math.Exp(logSpeed / float64(matched))
+	fail := false
+	fmt.Fprintf(os.Stderr, "aggregate: %d scenarios, geomean speed %.3fx", matched, speedGeo)
+	if speedGeo < checkMaxSlowdown {
+		fmt.Fprintf(os.Stderr, "  REGRESSION (< %.2fx)", checkMaxSlowdown)
+		fail = true
+	}
+	if allocPairs > 0 {
+		allocGeo := math.Exp(logAllocs / float64(allocPairs))
+		fmt.Fprintf(os.Stderr, ", geomean allocs %.3fx", allocGeo)
+		if allocGeo > checkMaxAllocsRise {
+			fmt.Fprintf(os.Stderr, "  REGRESSION (> %.2fx)", checkMaxAllocsRise)
+			fail = true
+		}
+	}
+	fmt.Fprintln(os.Stderr)
+	if fail {
+		fmt.Fprintln(os.Stderr, "benchreport: -check: FAIL")
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "benchreport: -check: ok")
+	return 0
+}
+
+func loadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != "hetwire-bench/v1" {
+		return nil, fmt.Errorf("%s: unexpected schema %q", path, rep.Schema)
+	}
+	return &rep, nil
+}

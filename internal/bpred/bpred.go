@@ -228,6 +228,27 @@ func (p *Predictor) ResetStats() {
 	p.Lookups, p.DirMisses, p.BTBMisses, p.BimodalUsed, p.TwoLevUsed = 0, 0, 0, 0, 0
 }
 
+// Reset restores the predictor to its just-constructed state (including the
+// weakly-taken counter initialisation), reusing all table storage.
+func (p *Predictor) Reset() {
+	for i := range p.bimodal {
+		p.bimodal[i] = 2
+	}
+	clear(p.l1hist)
+	for i := range p.l2 {
+		p.l2[i] = 2
+	}
+	for i := range p.chooser {
+		p.chooser[i] = 1
+	}
+	clear(p.btbTags)
+	clear(p.btbTgt)
+	clear(p.btbLRU)
+	clear(p.ras)
+	p.rasTop = 0
+	p.ResetStats()
+}
+
 // Accuracy returns the fraction of correct direction predictions so far.
 func (p *Predictor) Accuracy() float64 {
 	if p.Lookups == 0 {

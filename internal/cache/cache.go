@@ -132,6 +132,19 @@ func (c *Cache) CalendarClamps() uint64 {
 // ResetStats zeroes the hit/miss counters, keeping cache contents.
 func (c *Cache) ResetStats() { c.Accesses, c.Misses = 0, 0 }
 
+// Reset restores the cache to its just-constructed state — cold arrays, idle
+// bank ports, zero counters — reusing all storage. A reset cache behaves
+// bit-identically to a freshly built one.
+func (c *Cache) Reset() {
+	clear(c.tags)
+	clear(c.lru)
+	c.lruClock = 0
+	for _, b := range c.banks {
+		b.Reset()
+	}
+	c.Accesses, c.Misses = 0, 0
+}
+
 // MissRate returns misses/accesses so far (0 before any access).
 func (c *Cache) MissRate() float64 {
 	if c.Accesses == 0 {
@@ -195,6 +208,14 @@ func (t *TLB) Lookup(addr uint64) bool {
 
 // ResetStats zeroes the TLB counters, keeping translations.
 func (t *TLB) ResetStats() { t.Accesses, t.Misses = 0, 0 }
+
+// Reset empties the TLB and zeroes its counters, reusing storage.
+func (t *TLB) Reset() {
+	clear(t.tags)
+	clear(t.lru)
+	t.clock = 0
+	t.Accesses, t.Misses = 0, 0
+}
 
 // MissRate returns the TLB miss rate so far.
 func (t *TLB) MissRate() float64 {
@@ -299,6 +320,15 @@ func (h *Hierarchy) ResetStats() {
 	h.L1D.ResetStats()
 	h.L2.ResetStats()
 	h.TLB.ResetStats()
+}
+
+// Reset restores the whole hierarchy to its just-constructed (cold) state,
+// reusing all storage.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.TLB.Reset()
 }
 
 // FetchAccess models an instruction fetch at cycle start; returns completion

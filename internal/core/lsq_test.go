@@ -18,7 +18,7 @@ func newTestLSQ() *lsqState {
 // as its address arrives.
 func TestFullDisambiguationNoStores(t *testing.T) {
 	l := newTestLSQ()
-	tm := l.disambiguateFull(1, 0x1000, 50)
+	tm := l.disambiguateFull(0x1000, 50)
 	if tm.start != 50 || tm.forwarded || tm.falseDep {
 		t.Fatalf("unexpected timing: %+v", tm)
 	}
@@ -28,8 +28,8 @@ func TestFullDisambiguationNoStores(t *testing.T) {
 // full address of an earlier in-flight store.
 func TestFullDisambiguationWaitsForPriorStoreAddress(t *testing.T) {
 	l := newTestLSQ()
-	l.addStore(lsqStore{seq: 1, addr: 0x2000, partialAt: 60, fullAt: 80, dataAt: 90, commitAt: 200})
-	tm := l.disambiguateFull(2, 0x3000, 50)
+	l.addStore(lsqStore{addr: 0x2000, partialAt: 60, fullAt: 80, dataAt: 90, commitAt: 200})
+	tm := l.disambiguateFull(0x3000, 50)
 	if tm.start != 80 {
 		t.Errorf("load start = %d, want 80 (prior store address)", tm.start)
 	}
@@ -42,8 +42,8 @@ func TestFullDisambiguationWaitsForPriorStoreAddress(t *testing.T) {
 // data (one extra cycle for the bypass mux).
 func TestFullDisambiguationForwarding(t *testing.T) {
 	l := newTestLSQ()
-	l.addStore(lsqStore{seq: 1, addr: 0x2000, partialAt: 60, fullAt: 60, dataAt: 95, commitAt: 200})
-	tm := l.disambiguateFull(2, 0x2004, 50) // same 8-byte word as 0x2000? no: 0x2000>>3=0x400, 0x2004>>3=0x400 yes
+	l.addStore(lsqStore{addr: 0x2000, partialAt: 60, fullAt: 60, dataAt: 95, commitAt: 200})
+	tm := l.disambiguateFull(0x2004, 50) // same 8-byte word as 0x2000? no: 0x2000>>3=0x400, 0x2004>>3=0x400 yes
 	if !tm.forwarded {
 		t.Fatal("same-word store did not forward")
 	}
@@ -56,20 +56,10 @@ func TestFullDisambiguationForwarding(t *testing.T) {
 // address arrived impose no constraint.
 func TestRetiredStoresIgnored(t *testing.T) {
 	l := newTestLSQ()
-	l.addStore(lsqStore{seq: 1, addr: 0x2000, partialAt: 10, fullAt: 20, dataAt: 20, commitAt: 30})
-	tm := l.disambiguateFull(2, 0x2000, 50) // store committed at 30 < 50
+	l.addStore(lsqStore{addr: 0x2000, partialAt: 10, fullAt: 20, dataAt: 20, commitAt: 30})
+	tm := l.disambiguateFull(0x2000, 50) // store committed at 30 < 50
 	if tm.start != 50 || tm.forwarded {
 		t.Errorf("retired store affected the load: %+v", tm)
-	}
-}
-
-// TestLaterStoresIgnored: program-order-later stores never constrain a load.
-func TestLaterStoresIgnored(t *testing.T) {
-	l := newTestLSQ()
-	l.addStore(lsqStore{seq: 10, addr: 0x2000, partialAt: 10, fullAt: 500, dataAt: 500, commitAt: 600})
-	tm := l.disambiguateFull(5, 0x2000, 50)
-	if tm.start != 50 {
-		t.Errorf("later store delayed an earlier load: %+v", tm)
 	}
 }
 
@@ -78,9 +68,9 @@ func TestLaterStoresIgnored(t *testing.T) {
 // gate the final compare.
 func TestPartialNoMatchStartsEarly(t *testing.T) {
 	l := newTestLSQ()
-	l.addStore(lsqStore{seq: 1, addr: 0x2000, partialAt: 55, fullAt: 300, dataAt: 300, commitAt: 400})
+	l.addStore(lsqStore{addr: 0x2000, partialAt: 55, fullAt: 300, dataAt: 300, commitAt: 400})
 	// 0x3008 differs from 0x2000 in LS word bits: (0x3008>>3)&0xff = 0x01 vs 0x00.
-	tm := l.disambiguatePartial(2, 0x3008, 52, 54)
+	tm := l.disambiguatePartial(0x3008, 52, 54)
 	if !tm.partialChecked {
 		t.Fatal("partial path not taken")
 	}
@@ -102,8 +92,8 @@ func TestPartialFalseDependence(t *testing.T) {
 	l := newTestLSQ()
 	// Same LS word bits: word 0x400 (addr 0x2000) vs word 0x500 (addr
 	// 0x2800): 0x400&0xff = 0, 0x500&0xff = 0. Collision.
-	l.addStore(lsqStore{seq: 1, addr: 0x2000, partialAt: 55, fullAt: 120, dataAt: 130, commitAt: 400})
-	tm := l.disambiguatePartial(2, 0x2800, 52, 60)
+	l.addStore(lsqStore{addr: 0x2000, partialAt: 55, fullAt: 120, dataAt: 130, commitAt: 400})
+	tm := l.disambiguatePartial(0x2800, 52, 60)
 	if !tm.falseDep {
 		t.Fatal("LS-bit collision not flagged as false dependence")
 	}
@@ -119,8 +109,8 @@ func TestPartialFalseDependence(t *testing.T) {
 // full addresses resolve.
 func TestPartialTrueForwarding(t *testing.T) {
 	l := newTestLSQ()
-	l.addStore(lsqStore{seq: 1, addr: 0x2000, partialAt: 55, fullAt: 70, dataAt: 100, commitAt: 400})
-	tm := l.disambiguatePartial(2, 0x2000, 52, 60)
+	l.addStore(lsqStore{addr: 0x2000, partialAt: 55, fullAt: 70, dataAt: 100, commitAt: 400})
+	tm := l.disambiguatePartial(0x2000, 52, 60)
 	if !tm.forwarded || tm.falseDep {
 		t.Fatalf("expected clean forward: %+v", tm)
 	}
@@ -134,11 +124,11 @@ func TestPartialTrueForwarding(t *testing.T) {
 func TestPruneDropsOldStores(t *testing.T) {
 	l := newTestLSQ()
 	for i := uint64(1); i <= 100; i++ {
-		l.addStore(lsqStore{seq: i, addr: i * 8, partialAt: i, fullAt: i, dataAt: i, commitAt: i + 10})
+		l.addStore(lsqStore{addr: i * 8, partialAt: i, fullAt: i, dataAt: i, commitAt: i + 10})
 	}
 	l.prune(100_000)
-	if len(l.stores) != 0 {
-		t.Errorf("%d stale stores survived pruning", len(l.stores))
+	if l.depth() != 0 {
+		t.Errorf("%d stale stores survived pruning", l.depth())
 	}
 }
 
@@ -152,7 +142,7 @@ func TestPartialNeverFasterThanOwnBits(t *testing.T) {
 		seq := l.nextSeq()
 		if src.Bool(0.3) {
 			l.addStore(lsqStore{
-				seq: seq, addr: uint64(addrRaw) * 8,
+				addr:      uint64(addrRaw) * 8,
 				partialAt: 1000 + uint64(lsOff), fullAt: 1010 + uint64(msOff),
 				dataAt: 1020, commitAt: 2000 + uint64(seq),
 			})
@@ -160,7 +150,7 @@ func TestPartialNeverFasterThanOwnBits(t *testing.T) {
 		}
 		ls := 1000 + uint64(lsOff)
 		ms := ls + 2 + uint64(msOff)
-		tm := l.disambiguatePartial(l.nextSeq(), uint64(addrRaw)*8, ls, ms)
+		tm := l.disambiguatePartial(uint64(addrRaw)*8, ls, ms)
 		return tm.start >= ms && tm.indexReady >= ls
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {

@@ -44,8 +44,8 @@ func NewOnFabric(cfg config.Config, fab *SharedFabric, clusters []int) *Processo
 	p.net = fab.net
 	p.mem = fab.mem
 	p.allowed = append([]int(nil), clusters...)
-	for r := range p.regs {
-		p.regs[r].cluster = clusters[r%len(clusters)]
+	for r := range p.regCluster {
+		p.regCluster[r] = uint8(clusters[r%len(clusters)])
 	}
 	return p
 }

@@ -90,10 +90,10 @@ func (p *Processor) step(ins *trace.Instr) {
 	}
 
 	clusterID := p.steer(ins, dispatchReq)
-	cl := p.clusters[clusterID]
-	iq, regs := cl.intIQ, cl.intRegs
+	cl := &p.clusters[clusterID]
+	iq, regs, fp := cl.intIQ, cl.intRegs, 0
 	if ins.Op.IsFP() {
-		iq, regs = cl.fpIQ, cl.fpRegs
+		iq, regs, fp = cl.fpIQ, cl.fpRegs, 1
 	}
 	dispatchReq = maxU(dispatchReq, iq.Acquire(dispatchReq))
 	if ins.Dest != trace.NoReg {
@@ -107,21 +107,17 @@ func (p *Processor) step(ins *trace.Instr) {
 	// ---------------- Source operands ----------------
 	ready := dispatchAt + 1
 	var src2Ready uint64
-	for si, src := range []int16{ins.Src1, ins.Src2} {
-		if src == trace.NoReg {
-			continue
+	if ins.Src1 != trace.NoReg {
+		if at := p.operandReady(ins.Src1, clusterID, dispatchAt); at > ready {
+			ready = at
 		}
-		at := p.operandReady(src, clusterID, dispatchAt)
-		if si == 1 {
-			src2Ready = at
-			if ins.Op == trace.Store {
-				// A store's data operand feeds the store-data transfer,
-				// not address generation: stores issue AGEN as soon as the
-				// base register is ready.
-				continue
-			}
-		}
-		if at > ready {
+	}
+	if ins.Src2 != trace.NoReg {
+		at := p.operandReady(ins.Src2, clusterID, dispatchAt)
+		src2Ready = at
+		// A store's data operand feeds the store-data transfer, not address
+		// generation: stores issue AGEN as soon as the base register is ready.
+		if ins.Op != trace.Store && at > ready {
 			ready = at
 		}
 	}
@@ -132,6 +128,9 @@ func (p *Processor) step(ins *trace.Instr) {
 	issueAt := cl.fus[fuFor(ins.Op)].Reserve(ready)
 	p.s.SumFUWait += issueAt - ready
 	iq.Commit(issueAt + 1)
+	// Patch the cached free row in place: the committed entry releases after
+	// the row's cycle, so the wheel's exact occupancy is the row's new value.
+	p.freeIQ[fp][clusterID] = int32(iq.Size() - iq.Occupied())
 	execDone := issueAt + uint64(ins.Op.Latency())
 
 	// ---------------- Op-specific back end ----------------
@@ -142,13 +141,7 @@ func (p *Processor) step(ins *trace.Instr) {
 	switch ins.Op {
 	case trace.Branch:
 		if mispredict {
-			class := wires.B
-			if myCfg.Tech.MispredictOnL {
-				class = wires.L
-			} else if !p.cfg.Model.Link.Has(wires.B) {
-				class = wires.PW
-			}
-			arrive := p.net.Transfer(me, noc.Cache, class, bitsMispred, execDone)
+			arrive := p.net.Transfer(me, noc.Cache, p.mispredCls, bitsMispred, execDone)
 			if arrive+1 > p.redirectAt {
 				p.redirectAt = arrive + 1
 			}
@@ -157,7 +150,7 @@ func (p *Processor) step(ins *trace.Instr) {
 
 	case trace.Load:
 		p.s.Loads++
-		t := p.sendAddress(me, seq, ins.Addr, execDone, true)
+		t := p.sendAddress(me, ins.Addr, execDone, true)
 		var dataAt uint64
 		level := cache.LevelL1
 		if t.forwarded {
@@ -166,18 +159,14 @@ func (p *Processor) step(ins *trace.Instr) {
 		} else {
 			dataAt, level = p.mem.DataAccess(ins.Addr, t.indexReady, t.start)
 		}
-		retClass := wires.B
-		retBits := bitsFull
-		switch {
-		case myCfg.Tech.CriticalWordOnL && level != cache.LevelL1 &&
-			narrow.IsNarrow(ins.Value, myCfg.Core.NarrowMaxBits):
+		retClass, retBits := p.wideCls, bitsFull
+		if p.criticalOnL && level != cache.LevelL1 &&
+			narrow.IsNarrow(ins.Value, p.narrowMax) {
 			// Critical-word return from L2/memory on L-wires: the cache
 			// holds the value, so width detection is exact.
 			retClass, retBits = wires.L, bitsL
 			p.s.CriticalWordOnL++
-		case !p.cfg.Model.Link.Has(wires.B):
-			retClass = wires.PW
-		case myCfg.Tech.PWLoadBalance && p.net.PreferPW(dataAt):
+		} else if p.hasB && p.balanceOn && p.net.PreferPW(dataAt) {
 			retClass = wires.PW
 			p.s.BalancePW++
 		}
@@ -188,19 +177,19 @@ func (p *Processor) step(ins *trace.Instr) {
 
 	case trace.Store:
 		p.s.Stores++
-		t := p.sendAddress(me, seq, ins.Addr, execDone, false)
+		t := p.sendAddress(me, ins.Addr, execDone, false)
 		// Store data ships to the LSQ when the data operand is ready
 		// (criterion 2: PW wires, paper Section 4).
 		dataStart := maxU(src2Ready, dispatchAt+1)
-		dataClass := p.wideClass()
-		switch {
-		case myCfg.Tech.PWStoreData && p.net.PreferB(dataStart):
-			// Symmetric balancing: the PW plane is the congested one right
-			// now, so this store's data rides B instead.
-		case myCfg.Tech.PWStoreData:
-			dataClass = wires.PW
-			p.s.StoreDataPW++
-		case myCfg.Tech.PWLoadBalance && p.net.PreferPW(dataStart):
+		dataClass := p.wideCls
+		if p.pwStoreData {
+			// Symmetric balancing: when the PW plane is the congested one
+			// right now, this store's data rides B instead.
+			if !p.net.PreferB(dataStart) {
+				dataClass = wires.PW
+				p.s.StoreDataPW++
+			}
+		} else if p.balanceOn && p.net.PreferPW(dataStart) {
 			dataClass = wires.PW
 			p.s.BalancePW++
 		}
@@ -214,7 +203,6 @@ func (p *Processor) step(ins *trace.Instr) {
 		// The store occupies the LSQ until commit; its commit time is
 		// computed below, so the entry is registered after that.
 		p.pendingStore = lsqStore{
-			seq:       seq,
 			addr:      ins.Addr,
 			partialAt: t.partialAt,
 			fullAt:    t.fullKnown,
@@ -228,7 +216,10 @@ func (p *Processor) step(ins *trace.Instr) {
 	commitAt := p.commitCal.Reserve(commitReq)
 	p.lastCommit = commitAt
 	p.rob[p.robPos] = commitAt
-	p.robPos = (p.robPos + 1) % len(p.rob)
+	p.robPos++
+	if p.robPos == len(p.rob) {
+		p.robPos = 0
+	}
 
 	if p.havePendingStore {
 		p.pendingStore.commitAt = commitAt
@@ -247,84 +238,115 @@ func (p *Processor) step(ins *trace.Instr) {
 	// ---------------- Writeback / rename update ----------------
 	if ins.Dest != trace.NoReg {
 		regs.Commit(commitAt)
-		isNarrow := !ins.Op.IsFP() && narrow.IsNarrow(ins.Value, myCfg.Core.NarrowMaxBits)
+		p.freeRegs[fp][clusterID] = int32(regs.Size() - regs.Occupied())
+		isFP := ins.Op.IsFP()
+		isNarrow := !isFP && narrow.IsNarrow(ins.Value, p.narrowMax)
 		pred := false
-		if !ins.Op.IsFP() && ins.Op != trace.Store {
+		if !isFP && ins.Op != trace.Store {
 			prePred := p.np.Record(ins.PC, isNarrow)
 			switch {
-			case myCfg.Tech.NarrowOracle:
+			case p.narrowOrcl:
 				pred = isNarrow
-			case myCfg.Tech.NarrowOperands:
+			case p.narrowOps:
 				pred = prePred
 			}
 		}
-		if myCfg.Tech.FrequentValueEnc && !ins.Op.IsFP() {
+		if p.fvEnabled && !isFP {
 			p.fvt.Observe(ins.Value)
 		}
-		rs := &p.regs[ins.Dest]
-		rs.cluster = clusterID
-		rs.ready = destReady
-		rs.value = ins.Value
-		rs.narrow = isNarrow
-		rs.predNarrow = pred
-		rs.arrived = [maxClusters]uint64{}
+		d := ins.Dest
+		p.regCluster[d] = uint8(clusterID)
+		p.regReady[d] = destReady
+		p.regValue[d] = ins.Value
+		p.regNarrow[d] = b2u8(isNarrow)
+		p.regPredNarrow[d] = b2u8(pred)
+		p.regGen[d]++ // invalidates every cached per-cluster copy time
 	}
+}
+
+func b2u8(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // operandReady returns the cycle the source register's value is available
 // in the consuming cluster, inserting a copy transfer on the heterogeneous
 // interconnect when the producer lives elsewhere. Copies are shared: a
-// second consumer in the same cluster reuses the first transfer.
+// second consumer in the same cluster reuses the first transfer (the
+// arrived cache, generation-stamped against the producer's rename).
+//
+// The wire-class decision is the paper's priority ladder with its
+// configuration-static part precomputed into xferTab (see initDerived); the
+// frequent-value arm and the PreferB/PreferPW congestion checks are the only
+// dynamic conditions left, evaluated in the ladder's original order so side
+// effects (FV-table lookups, recent-injection pruning) are identical.
 func (p *Processor) operandReady(src int16, clusterID int, dispatchAt uint64) uint64 {
-	rs := &p.regs[src]
-	if rs.cluster == clusterID {
+	prodCluster := int(p.regCluster[src])
+	if prodCluster == clusterID {
 		p.s.LocalOperands++
-		return rs.ready
+		return p.regReady[src]
 	}
-	if got := rs.arrived[clusterID]; got != 0 {
+	ai := int(src)*maxClusters + clusterID
+	gen := p.regGen[src]
+	if p.arrivedGen[ai] == gen {
 		p.s.LocalOperands++ // already in flight to this cluster; shared copy
-		return got
+		return p.arrivedAt[ai]
 	}
 	p.s.OperandTransfers++
-	if rs.narrow {
+	nar := p.regNarrow[src]
+	if nar != 0 {
 		p.s.NarrowEligible++
 	}
 
-	from, to := noc.Cluster(rs.cluster), noc.Cluster(clusterID)
-	start := maxU(rs.ready, dispatchAt+1)
-	t := &p.cfg.Tech
+	from, to := noc.Cluster(prodCluster), noc.Cluster(clusterID)
+	ready := p.regReady[src]
+	start := maxU(ready, dispatchAt+1)
+	ti := int(p.regPredNarrow[src])<<2 | int(nar)<<1
+	if ready <= dispatchAt {
+		ti |= 1
+	}
 	var arrive uint64
-	switch {
-	case t.NarrowOperands && rs.predNarrow && rs.narrow:
+	if a := p.xferTab[ti]; a == xNarrowL {
 		arrive = p.net.Transfer(from, to, wires.L, bitsL, start)
 		p.s.NarrowTransfers++
-	case t.FrequentValueEnc && p.fvt.Contains(rs.value) &&
-		p.net.PeekTransfer(from, to, wires.L, start) <= p.net.PeekTransfer(from, to, p.wideClass(), start):
+	} else if p.fvEnabled && p.fvt.Contains(p.regValue[src]) &&
+		p.net.PeekTransfer(from, to, wires.L, start) <= p.net.PeekTransfer(from, to, p.wideCls, start) {
 		// The value is encodable as a 3-bit frequent-value index plus tag,
 		// and the send buffer sees the L plane delivering no later than the
 		// wide plane (L-wires are shared with the address LS bits, so a
 		// congested L plane must not be flooded with compacted values).
 		arrive = p.net.Transfer(from, to, wires.L, bitsL, start)
 		p.s.FVTransfers++
-	case t.NarrowOperands && rs.predNarrow && !rs.narrow:
-		// Predicted narrow but wide: the L-wire transfer is wasted and the
-		// value is re-sent on B-wires once the width is detected.
-		p.net.Transfer(from, to, wires.L, bitsL, start)
-		arrive = p.net.Transfer(from, to, p.wideClass(), bitsFull, start+1)
-		p.s.NarrowMispredicted++
-	case t.PWReadyOperands && rs.ready <= dispatchAt && !p.net.PreferB(start):
-		arrive = p.net.Transfer(from, to, wires.PW, bitsFull, start)
-		p.s.ReadyOperandPW++
-	case t.PWLoadBalance && p.net.PreferPW(start):
-		arrive = p.net.Transfer(from, to, wires.PW, bitsFull, start)
-		p.s.BalancePW++
-	case p.cfg.Model.Link.Has(wires.B):
-		arrive = p.net.Transfer(from, to, wires.B, bitsFull, start)
-	default:
-		// Homogeneous PW interconnect (e.g. Model II).
-		arrive = p.net.Transfer(from, to, wires.PW, bitsFull, start)
+	} else {
+		wide := true
+		switch a {
+		case xNarrowMiss:
+			// Predicted narrow but wide: the L-wire transfer is wasted and the
+			// value is re-sent on B-wires once the width is detected.
+			p.net.Transfer(from, to, wires.L, bitsL, start)
+			arrive = p.net.Transfer(from, to, p.wideCls, bitsFull, start+1)
+			p.s.NarrowMispredicted++
+			wide = false
+		case xReadyPW:
+			if !p.net.PreferB(start) {
+				arrive = p.net.Transfer(from, to, wires.PW, bitsFull, start)
+				p.s.ReadyOperandPW++
+				wide = false
+			}
+		}
+		if wide {
+			if p.balanceOn && p.net.PreferPW(start) {
+				arrive = p.net.Transfer(from, to, wires.PW, bitsFull, start)
+				p.s.BalancePW++
+			} else {
+				arrive = p.net.Transfer(from, to, p.wideCls, bitsFull, start)
+			}
+		}
 	}
-	rs.arrived[clusterID] = arrive
+	p.arrivedAt[ai] = arrive
+	p.arrivedGen[ai] = gen
 	return arrive
 }
 
@@ -339,29 +361,26 @@ type addrTiming struct {
 // the centralized LSQ, using the split LS-bits-on-L-wires pipeline when
 // enabled. Loads additionally run memory disambiguation against earlier
 // in-flight stores; stores only need their arrival times recorded.
-func (p *Processor) sendAddress(from noc.Node, seq uint64, addr uint64, addrDone uint64, isLoad bool) addrTiming {
-	t := &p.cfg.Tech
-	if t.LWireCachePipeline {
+func (p *Processor) sendAddress(from noc.Node, addr uint64, addrDone uint64, isLoad bool) addrTiming {
+	if p.lwirePipe {
 		lsArr := p.net.Transfer(from, noc.Cache, wires.L, bitsL, addrDone)
-		msArr := p.net.Transfer(from, noc.Cache, p.wideClass(), bitsMSAddr, addrDone)
+		msArr := p.net.Transfer(from, noc.Cache, p.wideCls, bitsMSAddr, addrDone)
 		out := addrTiming{partialAt: lsArr, fullKnown: msArr}
 		if isLoad {
-			out.loadTiming = p.lsq.disambiguatePartial(seq, addr, lsArr, msArr)
+			out.loadTiming = p.lsq.disambiguatePartial(addr, lsArr, msArr)
 			p.recordLSQ(out.loadTiming)
 		}
 		return out
 	}
-	class := wires.B
-	if !p.cfg.Model.Link.Has(wires.B) {
-		class = wires.PW
-	} else if t.PWLoadBalance && p.net.PreferPW(addrDone) {
+	class := p.wideCls
+	if p.hasB && p.balanceOn && p.net.PreferPW(addrDone) {
 		class = wires.PW
 		p.s.BalancePW++
 	}
 	full := p.net.Transfer(from, noc.Cache, class, bitsFull, addrDone)
 	out := addrTiming{partialAt: full, fullKnown: full}
 	if isLoad {
-		out.loadTiming = p.lsq.disambiguateFull(seq, addr, full)
+		out.loadTiming = p.lsq.disambiguateFull(addr, full)
 	}
 	return out
 }
@@ -373,16 +392,6 @@ func (p *Processor) recordLSQ(lt loadTiming) {
 			p.s.PartialFalseDeps++
 		}
 	}
-}
-
-// wideClass returns the wire class used for full-width transfers that have
-// no special steering: B-wires when the interconnect has them, else the
-// homogeneous PW plane (Models II, III, VI).
-func (p *Processor) wideClass() wires.Class {
-	if p.cfg.Model.Link.Has(wires.B) {
-		return wires.B
-	}
-	return wires.PW
 }
 
 func maxU(a, b uint64) uint64 {

@@ -64,7 +64,7 @@ func (p *Processor) emitProbe(final bool) {
 		Cycle:     p.lastCommit - p.statsBase,
 		Final:     final,
 		Stats:     p.s,
-		LSQDepth:  len(p.lsq.stores),
+		LSQDepth:  p.lsq.depth(),
 	}
 	s.Stats.Cycles = s.Cycle
 	for i, c := range []wires.Class{wires.B, wires.PW, wires.L} {
@@ -72,7 +72,8 @@ func (p *Processor) emitProbe(final bool) {
 	}
 	s.Stats.WaitCycles = p.net.TotalWaitCycles()
 	s.Stats.LinkInventory = p.net.LinkInventory()
-	for _, cl := range p.clusters {
+	for i := range p.clusters {
+		cl := &p.clusters[i]
 		s.IQOccupancy += cl.intIQ.Occupied() + cl.fpIQ.Occupied()
 		s.RenameOccupancy += cl.intRegs.Occupied() + cl.fpRegs.Occupied()
 	}

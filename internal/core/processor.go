@@ -59,27 +59,27 @@ func fuFor(op trace.Op) fuKind {
 // it so renaming allocates nothing per register.
 const maxClusters = 16
 
-// regState tracks the current architectural-register mapping: which cluster
-// holds the value, when it is ready there, and whether it is narrow.
-type regState struct {
-	cluster int
-	ready   uint64
-	value   uint64
-	narrow  bool
-	// predNarrow is the narrow predictor's decision made when the producer
-	// was renamed (or the oracle's answer); transfers use it.
-	predNarrow bool
-	// arrived caches per-cluster delivery times of this value so multiple
-	// consumers in one cluster share a single copy transfer.
-	arrived [maxClusters]uint64 // 0 = not transferred yet
-}
+// xferAction is a precomputed operand-transfer decision: which arm of the
+// paper's wire-class ladder a transfer takes, as a function of the three
+// per-operand bits (predicted-narrow, actually-narrow, ready-early) and the
+// configuration. The dynamic parts of the ladder — frequent-value lookup and
+// the PreferB/PreferPW congestion checks — stay runtime checks layered on
+// top; everything configuration-static is folded into the 8-entry table.
+type xferAction uint8
+
+const (
+	xWide       xferAction = iota // full-width transfer on the wide plane (with load-balance diversion)
+	xNarrowL                      // predicted and actually narrow: L-wires
+	xNarrowMiss                   // predicted narrow, actually wide: wasted L send + resend
+	xReadyPW                      // ready-operand diversion candidate (criterion 1)
+)
 
 // cluster bundles one cluster's resources.
 type cluster struct {
-	intIQ   *sched.Heap // 15 int issue-queue entries
-	fpIQ    *sched.Heap
-	intRegs *sched.Heap // 32 int rename registers
-	fpRegs  *sched.Heap
+	intIQ   *sched.Wheel // 15 int issue-queue entries
+	fpIQ    *sched.Wheel
+	intRegs *sched.Wheel // 32 int rename registers
+	fpRegs  *sched.Wheel
 	fus     [numFUKinds]*sched.Calendar
 }
 
@@ -93,11 +93,11 @@ type Processor struct {
 	fvt *narrow.FrequentValueTable
 
 	nClusters int
-	clusters  []*cluster
+	clusters  []cluster
 
 	// Front end.
 	fetchCal    *sched.Calendar // fetch bandwidth: FetchWidth/cycle
-	fetchQ      *sched.Heap     // 64 entries, freed at dispatch
+	fetchQ      *sched.Wheel     // 64 entries, freed at dispatch
 	dispatchCal *sched.Calendar // DispatchWidth/cycle
 	commitCal   *sched.Calendar // CommitWidth/cycle
 	rob         []uint64        // ring of commit times, ROBSize entries
@@ -118,16 +118,53 @@ type Processor struct {
 	pendingStore     lsqStore
 	havePendingStore bool
 
-	regs [trace.NumArchRegs]regState
+	// Architectural-register state in struct-of-arrays layout: the steering
+	// and operand loops touch only the one or two fields they need, so each
+	// lookup reads one contiguous cache line of the field it wants instead of
+	// striding across 176-byte per-register structs.
+	regCluster    [trace.NumArchRegs]uint8  // cluster holding the value
+	regReady      [trace.NumArchRegs]uint64 // cycle the value is ready there
+	regValue      [trace.NumArchRegs]uint64
+	regNarrow     [trace.NumArchRegs]uint8 // 0/1: value fits NarrowMaxBits
+	regPredNarrow [trace.NumArchRegs]uint8 // 0/1: predictor's (or oracle's) call
+	// regGen is bumped on every writeback; the arrived cache below is valid
+	// only for matching generations, which invalidates all per-cluster copy
+	// times of the overwritten mapping in one increment instead of a 128-byte
+	// clear per renamed destination.
+	regGen     [trace.NumArchRegs]uint32
+	arrivedAt  [trace.NumArchRegs * maxClusters]uint64 // per-(reg,cluster) copy arrival
+	arrivedGen [trace.NumArchRegs * maxClusters]uint32
 
 	lsq *lsqState
 
 	steerRR int // round-robin tiebreaker for steering
 
-	// steerW is the per-call cluster-weight scratch buffer of the dynamic
-	// steering heuristic; reused across instructions so steering allocates
-	// nothing on the hot path.
-	steerW [maxClusters]int
+	// Cached per-cluster free counts at one dispatch cycle, refreshed lazily
+	// per register type when the dispatch frontier moves and patched in place
+	// as dispatch books entries. The steering weight loop and the resource
+	// fallback read these flat rows instead of polling every cluster's wheels
+	// (16 pointer-chasing queries per steered instruction otherwise).
+	// Index [0] is the integer row, [1] the floating-point row; the At stamps
+	// hold the cycle each row reflects (^0 = never refreshed).
+	freeIQAt   [2]uint64
+	freeRegsAt [2]uint64
+	freeIQ     [2][maxClusters]int32
+	freeRegs   [2][maxClusters]int32
+
+	// Configuration-derived constants hoisted out of the per-instruction
+	// loop (see initDerived).
+	hasB        bool
+	wideCls     wires.Class // B when present, else the homogeneous PW plane
+	mispredCls  wires.Class
+	fvEnabled   bool
+	balanceOn   bool
+	pwStoreData bool
+	lwirePipe   bool
+	criticalOnL bool
+	narrowOrcl  bool
+	narrowOps   bool
+	narrowMax   int
+	xferTab     [8]xferAction // index: predNarrow<<2 | narrow<<1 | readyEarly
 
 	// allowed restricts steering to a cluster subset (multiprogrammed
 	// threads); nil means all clusters. all caches the full index list.
@@ -259,29 +296,131 @@ func New(cfg config.Config) *Processor {
 			MemLatency: c.MemLatency,
 		}),
 		fetchCal:    sched.NewCalendar(c.FetchWidth, sched.DefaultWindow),
-		fetchQ:      sched.NewHeap(c.FetchQueueSize),
+		fetchQ:      sched.NewWheel(c.FetchQueueSize),
 		dispatchCal: sched.NewCalendar(c.DispatchWidth, sched.DefaultWindow),
 		commitCal:   sched.NewCalendar(c.CommitWidth, sched.DefaultWindow),
 		rob:         make([]uint64, c.ROBSize),
 		lsq:         newLSQ(cfg),
 	}
-	p.clusters = make([]*cluster, p.nClusters)
+	p.clusters = make([]cluster, p.nClusters)
 	for i := range p.clusters {
-		cl := &cluster{
-			intIQ:   sched.NewHeap(c.IssueQPerClust),
-			fpIQ:    sched.NewHeap(c.IssueQPerClust),
-			intRegs: sched.NewHeap(c.RegsPerClust),
-			fpRegs:  sched.NewHeap(c.RegsPerClust),
-		}
+		cl := &p.clusters[i]
+		cl.intIQ = sched.NewWheel(c.IssueQPerClust)
+		cl.fpIQ = sched.NewWheel(c.IssueQPerClust)
+		cl.intRegs = sched.NewWheel(c.RegsPerClust)
+		cl.fpRegs = sched.NewWheel(c.RegsPerClust)
 		for k := range cl.fus {
 			cl.fus[k] = sched.NewCalendar(1, sched.DefaultWindow)
 		}
-		p.clusters[i] = cl
 	}
-	for r := range p.regs {
-		p.regs[r] = regState{cluster: r % p.nClusters}
+	for r := range p.regCluster {
+		p.regCluster[r] = uint8(r % p.nClusters)
+		p.regGen[r] = 1 // arrivedGen zero-state must mismatch: no copies cached
 	}
+	p.freeIQAt = [2]uint64{^uint64(0), ^uint64(0)}
+	p.freeRegsAt = p.freeIQAt
+	p.initDerived()
 	return p
+}
+
+// initDerived hoists every configuration-static decision of the transfer
+// ladders out of the per-instruction loop: scalar class choices, feature
+// flags, and the 8-entry operand-transfer action table indexed by the packed
+// (predicted-narrow, narrow, ready-early) bits. The table preserves the
+// ladder's priority order exactly; the frequent-value arm and the congestion
+// checks remain dynamic and are layered on top in operandReady.
+func (p *Processor) initDerived() {
+	t := &p.cfg.Tech
+	p.hasB = p.cfg.Model.Link.Has(wires.B)
+	p.wideCls = wires.B
+	if !p.hasB {
+		p.wideCls = wires.PW
+	}
+	p.mispredCls = p.wideCls
+	if t.MispredictOnL {
+		p.mispredCls = wires.L
+	}
+	p.fvEnabled = t.FrequentValueEnc
+	p.balanceOn = t.PWLoadBalance
+	p.pwStoreData = t.PWStoreData
+	p.lwirePipe = t.LWireCachePipeline
+	p.criticalOnL = t.CriticalWordOnL
+	p.narrowOrcl = t.NarrowOracle
+	p.narrowOps = t.NarrowOperands
+	p.narrowMax = p.cfg.Core.NarrowMaxBits
+	for idx := range p.xferTab {
+		pn, nw, re := idx&4 != 0, idx&2 != 0, idx&1 != 0
+		a := xWide
+		switch {
+		case t.NarrowOperands && pn && nw:
+			a = xNarrowL
+		case t.NarrowOperands && pn && !nw:
+			a = xNarrowMiss
+		case t.PWReadyOperands && re:
+			a = xReadyPW
+		}
+		p.xferTab[idx] = a
+	}
+}
+
+// Reset restores the processor to the state New returns, reusing every
+// allocation: calendars and wheels are rewound, caches and predictors
+// cooled, the LSQ emptied, and the architectural registers re-seeded with
+// their round-robin home clusters. A reset processor produces bit-identical
+// results to a freshly constructed one (pinned by TestProcessorResetReplay),
+// which is what lets RunScratch pool processors across runs.
+//
+// Reset is only valid on processors built with New: fabric-attached
+// processors (NewOnFabric) share their network and memory hierarchy with
+// sibling threads and must not rewind them unilaterally.
+func (p *Processor) Reset() {
+	p.net.Reset()
+	p.mem.Reset()
+	p.bp.Reset()
+	p.np.Reset()
+	p.fvt.Reset()
+
+	p.fetchCal.Reset()
+	p.fetchQ.Reset()
+	p.dispatchCal.Reset()
+	p.commitCal.Reset()
+	clear(p.rob)
+	p.robPos = 0
+	for i := range p.clusters {
+		cl := &p.clusters[i]
+		cl.intIQ.Reset()
+		cl.fpIQ.Reset()
+		cl.intRegs.Reset()
+		cl.fpRegs.Reset()
+		for _, fu := range cl.fus {
+			fu.Reset()
+		}
+	}
+
+	p.lastFetch, p.lastDispatch, p.lastCommit = 0, 0, 0
+	p.redirectAt, p.curFetchLine = 0, 0
+	p.pendingBlockStart, p.blkCycle, p.blkCount = false, 0, 0
+	p.pendingStore, p.havePendingStore = lsqStore{}, false
+
+	for r := range p.regCluster {
+		p.regCluster[r] = uint8(r % p.nClusters)
+		p.regReady[r], p.regValue[r] = 0, 0
+		p.regNarrow[r], p.regPredNarrow[r] = 0, 0
+		// Bumping the generation invalidates every cached per-cluster copy
+		// without touching the arrival arrays; only gen equality is ever
+		// observed, so the monotone values leave behaviour identical to a
+		// fresh processor's gen-1 start.
+		p.regGen[r]++
+	}
+
+	p.lsq.reset()
+	p.steerRR = 0
+	p.freeIQAt = [2]uint64{^uint64(0), ^uint64(0)}
+	p.freeRegsAt = p.freeIQAt
+	p.statsBase = 0
+	p.s = Stats{}
+	p.probe = nil
+	p.Observer = nil
 }
 
 // frontDepth is the number of pipeline stages between fetch and dispatch
@@ -344,8 +483,8 @@ func (p *Processor) finalize() {
 	p.s.LinkInventory = p.net.LinkInventory()
 	clamps := p.net.CalendarClamps() + p.mem.L1D.CalendarClamps()
 	clamps += p.fetchCal.Clamped + p.dispatchCal.Clamped + p.commitCal.Clamped
-	for _, cl := range p.clusters {
-		for _, fu := range cl.fus {
+	for i := range p.clusters {
+		for _, fu := range p.clusters[i].fus {
 			clamps += fu.Clamped
 		}
 	}

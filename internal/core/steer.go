@@ -19,6 +19,10 @@ import (
 // The instruction goes to the highest-scoring cluster; if that cluster has
 // no free register or issue-queue resources at dispatch time, the nearest
 // cluster with available resources is used instead.
+//
+// The scoring is one fused pass in round-robin order: each candidate's
+// weight is computed and compared in place, so there is no weights array to
+// zero and each issue queue is consulted exactly once.
 func (p *Processor) steer(ins *trace.Instr, at uint64) int {
 	switch p.cfg.Steering {
 	case config.SteerStatic:
@@ -42,61 +46,72 @@ func (p *Processor) steer(ins *trace.Instr, at uint64) int {
 	}
 
 	cands := p.candidateClusters()
-	weights := p.steerW[:p.nClusters]
-	for i := range weights {
-		weights[i] = 0
-	}
+	n := len(cands)
 
-	// Operand-producer weights, with a criticality bonus for the
-	// latest-ready operand.
-	var critCluster = -1
+	// Operand-producer clusters, with a criticality bonus for the
+	// latest-ready operand (only an operand not ready yet can be critical).
+	c1, c2, critCluster := -1, -1, -1
 	var critReady uint64
-	for _, src := range [2]int16{ins.Src1, ins.Src2} {
-		if src == trace.NoReg {
-			continue
-		}
-		rs := &p.regs[src]
-		weights[rs.cluster] += 3
-		if rs.ready >= critReady {
-			critReady = rs.ready
-			critCluster = rs.cluster
+	if ins.Src1 != trace.NoReg {
+		c1 = int(p.regCluster[ins.Src1])
+		critReady = p.regReady[ins.Src1]
+		critCluster = c1
+	}
+	if ins.Src2 != trace.NoReg {
+		c2 = int(p.regCluster[ins.Src2])
+		if r := p.regReady[ins.Src2]; r >= critReady {
+			critReady = r
+			critCluster = c2
 		}
 	}
-	if critCluster >= 0 && critReady > at {
-		// Only an operand that is not ready yet can be critical.
-		weights[critCluster] += 2
-	}
-
-	// Cache proximity for memory operations: clusters nearer the
-	// centralized cache win. On the 4-cluster crossbar all clusters are
-	// equidistant; on the 16-cluster hierarchy the cache's quad is closer.
-	if ins.Op.IsMem() && p.nClusters > 4 {
-		for _, c := range cands {
-			if c/4 == 0 { // the cache hangs off quad 0
-				weights[c] += 2
-			}
-		}
+	if critReady <= at {
+		critCluster = -1
 	}
 
-	// Issue-queue emptiness (cluster load balance).
-	for _, c := range cands {
-		iq := p.clusters[c].intIQ
-		if ins.Op.IsFP() {
-			iq = p.clusters[c].fpIQ
-		}
-		weights[c] += iq.Free(at) / 4
-	}
+	// Cache proximity applies to memory operations when clusters are not
+	// equidistant from the centralized cache: on the 16-cluster hierarchy
+	// the cache hangs off quad 0.
+	memBonus := ins.Op.IsMem() && p.nClusters > 4
+	isFP := ins.Op.IsFP()
 
-	// Pick the highest weight among this thread's clusters; break ties
-	// round-robin so cold streams spread across clusters.
+	fp := 0
+	if isFP {
+		fp = 1
+	}
+	frees := p.iqFreeRow(fp, at)
+
+	rr := p.steerRR
 	best, bestW := -1, -1<<30
-	for i := range cands {
-		c := cands[(p.steerRR+i)%len(cands)]
-		if weights[c] > bestW {
-			best, bestW = c, weights[c]
+	j := rr
+	for i := 0; i < n; i++ {
+		c := cands[j]
+		j++
+		if j == n {
+			j = 0
+		}
+		// Issue-queue emptiness (cluster load balance) plus dependence,
+		// criticality, and proximity bonuses.
+		w := int(frees[c]) >> 2
+		if c == c1 {
+			w += 3
+		}
+		if c == c2 {
+			w += 3
+		}
+		if c == critCluster {
+			w += 2
+		}
+		if memBonus && c>>2 == 0 {
+			w += 2
+		}
+		if w > bestW {
+			best, bestW = c, w
 		}
 	}
-	p.steerRR = (p.steerRR + 1) % len(cands)
+	p.steerRR = rr + 1
+	if p.steerRR == n {
+		p.steerRR = 0
+	}
 
 	// Resource fallback: if the chosen cluster has no free issue-queue
 	// entry or rename register right now, move to the nearest cluster that
@@ -113,29 +128,66 @@ func (p *Processor) steer(ins *trace.Instr, at uint64) int {
 			break
 		}
 	}
-	for d := 1; d < len(cands); d++ {
-		if c := cands[(pos+d)%len(cands)]; p.hasResources(c, ins, at) {
+	for d := 1; d < n; d++ {
+		if c := cands[(pos+d)%n]; p.hasResources(c, ins, at) {
 			return c
 		}
-		if c := cands[(pos-d+len(cands))%len(cands)]; p.hasResources(c, ins, at) {
+		if c := cands[(pos-d+n)%n]; p.hasResources(c, ins, at) {
 			return c
 		}
 	}
 	return best
 }
 
+// iqFreeRow returns the per-cluster free issue-queue counts for the register
+// type at the dispatch cycle, refreshing the cached row if the frontier
+// moved. The refresh expires every wheel of the row at once — semantically
+// transparent under the monotone-query contract (lazy expiry may run at any
+// query time at or after the releases it drops).
+func (p *Processor) iqFreeRow(fp int, at uint64) *[maxClusters]int32 {
+	row := &p.freeIQ[fp]
+	if p.freeIQAt[fp] != at {
+		for c := 0; c < p.nClusters; c++ {
+			cl := &p.clusters[c]
+			iq := cl.intIQ
+			if fp != 0 {
+				iq = cl.fpIQ
+			}
+			row[c] = int32(iq.Free(at))
+		}
+		p.freeIQAt[fp] = at
+	}
+	return row
+}
+
+// regsFreeRow is iqFreeRow for the rename-register pools.
+func (p *Processor) regsFreeRow(fp int, at uint64) *[maxClusters]int32 {
+	row := &p.freeRegs[fp]
+	if p.freeRegsAt[fp] != at {
+		for c := 0; c < p.nClusters; c++ {
+			cl := &p.clusters[c]
+			regs := cl.intRegs
+			if fp != 0 {
+				regs = cl.fpRegs
+			}
+			row[c] = int32(regs.Free(at))
+		}
+		p.freeRegsAt[fp] = at
+	}
+	return row
+}
+
 // hasResources reports whether the cluster can accept the instruction at
 // the given cycle without stalling.
 func (p *Processor) hasResources(c int, ins *trace.Instr, at uint64) bool {
-	cl := p.clusters[c]
-	iq, regs := cl.intIQ, cl.intRegs
+	fp := 0
 	if ins.Op.IsFP() {
-		iq, regs = cl.fpIQ, cl.fpRegs
+		fp = 1
 	}
-	if iq.Free(at) == 0 {
+	if p.iqFreeRow(fp, at)[c] == 0 {
 		return false
 	}
-	if ins.Dest != trace.NoReg && regs.Free(at) == 0 {
+	if ins.Dest != trace.NoReg && p.regsFreeRow(fp, at)[c] == 0 {
 		return false
 	}
 	return true

@@ -13,8 +13,8 @@ func newTestProc() *Processor { return New(config.Default()) }
 // the producing cluster (dependence + criticality weights dominate).
 func TestSteerFollowsProducer(t *testing.T) {
 	p := newTestProc()
-	p.regs[5].cluster = 2
-	p.regs[5].ready = 1000 // far in the future: critical operand
+	p.regCluster[5] = 2
+	p.regReady[5] = 1000 // far in the future: critical operand
 	ins := &trace.Instr{Op: trace.IntALU, Src1: 5, Src2: trace.NoReg, Dest: 1}
 	if got := p.steer(ins, 10); got != 2 {
 		t.Errorf("steered to cluster %d, want producer cluster 2", got)
@@ -25,10 +25,10 @@ func TestSteerFollowsProducer(t *testing.T) {
 // becomes ready last carries the extra criticality weight.
 func TestSteerCriticalOperandWins(t *testing.T) {
 	p := newTestProc()
-	p.regs[1].cluster = 0
-	p.regs[1].ready = 50
-	p.regs[2].cluster = 3
-	p.regs[2].ready = 500 // the critical one
+	p.regCluster[1] = 0
+	p.regReady[1] = 50
+	p.regCluster[2] = 3
+	p.regReady[2] = 500 // the critical one
 	ins := &trace.Instr{Op: trace.IntALU, Src1: 1, Src2: 2, Dest: 3}
 	if got := p.steer(ins, 10); got != 3 {
 		t.Errorf("steered to cluster %d, want critical producer's cluster 3", got)
@@ -57,8 +57,8 @@ func TestSteerSpreadsIndependentWork(t *testing.T) {
 // issue-queue entries now, the instruction goes to a neighbour with room.
 func TestSteerAvoidsFullCluster(t *testing.T) {
 	p := newTestProc()
-	p.regs[7].cluster = 1
-	p.regs[7].ready = 1000
+	p.regCluster[7] = 1
+	p.regReady[7] = 1000
 	// Fill cluster 1's integer issue queue beyond cycle 10.
 	for i := 0; i < p.cfg.Core.IssueQPerClust; i++ {
 		p.clusters[1].intIQ.Commit(5000)
@@ -92,8 +92,8 @@ func TestSteerCacheProximity16Clusters(t *testing.T) {
 // queues; a full int queue must not repel them.
 func TestSteerFPUsesFPQueues(t *testing.T) {
 	p := newTestProc()
-	p.regs[40].cluster = 2
-	p.regs[40].ready = 1000
+	p.regCluster[40] = 2
+	p.regReady[40] = 1000
 	for i := 0; i < p.cfg.Core.IssueQPerClust; i++ {
 		p.clusters[2].intIQ.Commit(5000) // int queue full, fp queue empty
 	}

@@ -85,6 +85,13 @@ func (p *Predictor) ResetStats() {
 	p.TruePositives, p.FalsePositives = 0, 0
 }
 
+// Reset restores the predictor to its just-constructed state, reusing the
+// counter table.
+func (p *Predictor) Reset() {
+	clear(p.table)
+	p.ResetStats()
+}
+
 // Coverage returns the fraction of actually-narrow results that were
 // predicted narrow (the paper reports 95%).
 func (p *Predictor) Coverage() float64 {
@@ -121,6 +128,9 @@ type FrequentValueTable struct {
 
 // NewFrequentValueTable returns an empty 8-entry table.
 func NewFrequentValueTable() *FrequentValueTable { return &FrequentValueTable{} }
+
+// Reset empties the table and zeroes its statistics.
+func (f *FrequentValueTable) Reset() { *f = FrequentValueTable{} }
 
 // Contains reports whether the value is currently encodable.
 func (f *FrequentValueTable) Contains(v uint64) bool {

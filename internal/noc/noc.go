@@ -200,6 +200,7 @@ func New(cfg config.Config) *Network {
 		n.routes[a] = make([]route, n.clusters+1)
 		for b := 0; b <= n.clusters; b++ {
 			n.routes[a][b] = n.buildRoute(n.nodeAt(a), n.nodeAt(b))
+			n.initPlans(&n.routes[a][b])
 		}
 	}
 	n.allLinks = append(n.allLinks, n.cacheOut, n.cacheIn)
@@ -262,6 +263,29 @@ func ringPath(a, b int) (segments []int, clockwise bool) {
 	return segs, false
 }
 
+// hopPlan is one precomputed ring-segment traversal: the resolved calendar
+// (class fallback already applied) and the latency added after its grant.
+type hopPlan struct {
+	cal *sched.Calendar
+	lat uint64
+}
+
+// xferPlan is the fully resolved recipe for transferring on one (route,
+// requested class) pair. Everything branchy about class resolution — the
+// link-heterogeneity downgrade at the sender, the per-segment and receiver
+// fallback classes, the per-class latencies, which stats bucket to charge,
+// and whether the imbalance detector records the injection — depends only on
+// the topology and configuration, so it is computed once at construction and
+// the per-Transfer work reduces to calendar reservations and adds.
+type xferPlan struct {
+	outCal  *sched.Calendar
+	outLat  uint64
+	hops    []hopPlan
+	inCal   *sched.Calendar
+	statIdx int   // classIdx of the effective (post-downgrade) class
+	note    uint8 // imbalance detector: 0 none, 1 record as B, 2 record as PW
+}
+
 // route describes the resources and latency of a path.
 type route struct {
 	out      *link // source endpoint's outgoing link
@@ -271,10 +295,56 @@ type route struct {
 	// lengthUnits weights energy: one crossbar traversal = 1, each ring hop
 	// = 2 (ring hops have twice the latency, hence roughly twice the wire).
 	lengthUnits int
+
+	// plans and the peek shortcuts are indexed by the requested classIdx.
+	plans   [3]xferPlan
+	peekCal [3]*sched.Calendar // sender out-link plane for the requested class
+	peekLat [3]uint64          // end-to-end latency for the requested class
 }
 
-func (n *Network) routeFor(from, to Node) route {
-	return n.routes[n.nodeIdx(from)][n.nodeIdx(to)]
+func (n *Network) routeFor(from, to Node) *route {
+	return &n.routes[n.nodeIdx(from)][n.nodeIdx(to)]
+}
+
+// initPlans resolves the per-class transfer plans of a route (see xferPlan).
+func (n *Network) initPlans(r *route) {
+	for idx, c := range [3]wires.Class{wires.B, wires.PW, wires.L} {
+		r.peekCal[idx] = r.out.cal[idx]
+		r.peekLat[idx] = n.latency(r, c)
+
+		eff := c
+		if c != wires.L && !r.out.has(c) {
+			if r.out.has(wires.B) {
+				eff = wires.B
+			} else {
+				eff = wires.PW
+			}
+		}
+		pl := &r.plans[idx]
+		pl.outCal = r.out.cal[classIdx(eff)]
+		pl.outLat = uint64(n.cfg.Latency(eff))
+		pl.statIdx = classIdx(eff)
+		for _, seg := range r.ringSegs {
+			sl := n.ringCCW[seg]
+			if r.ringCW {
+				sl = n.ringCW[seg]
+			}
+			segClass := fallbackClass(sl, eff)
+			pl.hops = append(pl.hops, hopPlan{
+				cal: sl.cal[classIdx(segClass)],
+				lat: uint64(n.cfg.RingLatency(segClass)),
+			})
+		}
+		pl.inCal = r.in.cal[classIdx(fallbackClass(r.in, eff))]
+		if n.cfg.Tech.PWLoadBalance {
+			switch eff {
+			case wires.B:
+				pl.note = 1
+			case wires.PW:
+				pl.note = 2
+			}
+		}
+	}
 }
 
 // buildRoute computes a route from scratch; used once per endpoint pair at
@@ -308,7 +378,7 @@ func (n *Network) buildRoute(from, to Node) route {
 }
 
 // latency returns the end-to-end pipelined latency of the route for a class.
-func (n *Network) latency(r route, c wires.Class) uint64 {
+func (n *Network) latency(r *route, c wires.Class) uint64 {
 	lat := uint64(n.cfg.Latency(c))
 	lat += uint64(len(r.ringSegs)) * uint64(n.cfg.RingLatency(c))
 	return lat
@@ -332,38 +402,27 @@ func (n *Network) Latency(from, to Node, c wires.Class) uint64 {
 // paper attributes to that design.
 func (n *Network) Transfer(from, to Node, c wires.Class, bits int, ready uint64) uint64 {
 	r := n.routeFor(from, to)
-	if c != wires.L && !r.out.has(c) {
-		if r.out.has(wires.B) {
-			c = wires.B
-		} else {
-			c = wires.PW
-		}
+	pl := &r.plans[classIdx(c)]
+	if pl.outCal == nil {
+		panic(fmt.Sprintf("noc: link has no %v plane", c))
 	}
-	idx := classIdx(c)
 
-	slot := r.out.reserve(c, ready)
+	slot := pl.outCal.Reserve(ready)
 	wait := slot - ready
-	pos := slot + uint64(n.cfg.Latency(c)) // crossbar traversal to ring/endpoint
+	pos := slot + pl.outLat // crossbar traversal to ring/endpoint
 
-	for _, seg := range r.ringSegs {
-		var sl *link
-		if r.ringCW {
-			sl = n.ringCW[seg]
-		} else {
-			sl = n.ringCCW[seg]
-		}
-		segClass := fallbackClass(sl, c)
-		grant := sl.reserve(segClass, pos)
+	for i := range pl.hops {
+		h := &pl.hops[i]
+		grant := h.cal.Reserve(pos)
 		wait += grant - pos
-		pos = grant + uint64(n.cfg.RingLatency(segClass))
+		pos = grant + h.lat
 	}
 
-	inClass := fallbackClass(r.in, c)
-	grant := r.in.reserve(inClass, pos)
+	grant := pl.inCal.Reserve(pos)
 	wait += grant - pos
 	arrive := grant // in-link reservation is the delivery cycle
 
-	st := &n.Stats[idx]
+	st := &n.Stats[pl.statIdx]
 	st.Transfers++
 	st.Bits += uint64(bits)
 	st.BitHops += uint64(bits) * uint64(r.lengthUnits)
@@ -372,7 +431,13 @@ func (n *Network) Transfer(from, to Node, c wires.Class, bits int, ready uint64)
 		st.MaxWait = wait
 	}
 
-	n.noteInjection(c, ready)
+	// Imbalance detector (precomputed: enabled and effective class is wide).
+	switch pl.note {
+	case 1:
+		n.recentB = append(n.recentB, ready)
+	case 2:
+		n.recentPW = append(n.recentPW, ready)
+	}
 	return arrive
 }
 
@@ -382,24 +447,12 @@ func (n *Network) Transfer(from, to Node, c wires.Class, bits int, ready uint64)
 // is not included.
 func (n *Network) PeekTransfer(from, to Node, c wires.Class, ready uint64) uint64 {
 	r := n.routeFor(from, to)
-	cal := r.out.cal[classIdx(c)]
+	idx := classIdx(c)
+	cal := r.peekCal[idx]
 	if cal == nil {
 		return ^uint64(0)
 	}
-	return cal.Peek(ready) + n.latency(r, c)
-}
-
-// noteInjection records a request for the imbalance detector.
-func (n *Network) noteInjection(c wires.Class, cycle uint64) {
-	if !n.cfg.Tech.PWLoadBalance {
-		return
-	}
-	switch c {
-	case wires.B:
-		n.recentB = append(n.recentB, cycle)
-	case wires.PW:
-		n.recentPW = append(n.recentPW, cycle)
-	}
+	return cal.Peek(ready) + r.peekLat[idx]
 }
 
 func pruneRecent(s []uint64, cutoff uint64) []uint64 {
@@ -465,6 +518,22 @@ func (n *Network) PreferB(now uint64) bool {
 	n.recentB = pruneRecent(n.recentB, cutoff)
 	n.recentPW = pruneRecent(n.recentPW, cutoff)
 	return len(n.recentPW)-len(n.recentB) > t.BalanceThreshold
+}
+
+// Reset restores the network to its just-constructed state: every link
+// calendar rewound, traffic statistics and the load-balance injection
+// history cleared. Topology and route plans are immutable and stay.
+func (n *Network) Reset() {
+	for _, l := range n.allLinks {
+		for _, cal := range l.cal {
+			if cal != nil {
+				cal.Reset()
+			}
+		}
+	}
+	n.Stats = [3]ClassStats{}
+	n.recentB = n.recentB[:0]
+	n.recentPW = n.recentPW[:0]
 }
 
 // ResetStats zeroes the traffic statistics (for post-warmup measurement).

@@ -1,26 +1,38 @@
-// Package sched provides cycle calendars: sliding-window reservation
-// structures that model resources with a fixed per-cycle capacity (network
-// link slots, cache ports, functional units). The simulator books each
-// event into the earliest feasible cycle, which models out-of-order resource
-// arbitration with buffering: when more requests compete for a cycle than
-// the capacity allows, the excess is pushed to later cycles — exactly the
-// paper's "one transfer is effected in that cycle, while the others are
-// buffered" semantics with unbounded buffers.
+// Package sched provides cycle calendars: reservation structures that model
+// resources with a fixed per-cycle capacity (network link slots, cache
+// ports, functional units). The simulator books each event into the
+// earliest feasible cycle, which models out-of-order resource arbitration
+// with buffering: when more requests compete for a cycle than the capacity
+// allows, the excess is pushed to later cycles — exactly the paper's "one
+// transfer is effected in that cycle, while the others are buffered"
+// semantics with unbounded buffers.
 package sched
 
 // Calendar reserves capacity-limited slots on a cycle timeline. The zero
 // value is not usable; construct with NewCalendar. Not safe for concurrent
 // use.
+//
+// The timeline is stored as an era-stamped ring: cell i describes cycle
+// era*W + i, where W is the ring size and the era is packed into the cell
+// alongside the booking count (era<<8 | count). A cell whose stamp does not
+// match the requested cycle's era belongs to a cycle at least W away and
+// reads as empty, so advancing through time never clears or slides
+// anything — stale cells are reinterpreted in place. The era field is 24
+// bits wide, so cycles alias only after 2^24 eras (2^40 cycles with the
+// default ring); simulated runs are orders of magnitude shorter.
 type Calendar struct {
 	capacity uint16
-	counts   []uint16 // ring buffer of per-cycle reservation counts; len is a power of two
-	mask     uint64   // len(counts) - 1
-	base     uint64   // cycle number of ring index baseIdx
-	baseIdx  int
-	// Clamped counts reservations requested before the sliding window's
-	// base; these are booked at the base instead. With an adequately sized
-	// window this never happens in practice, and integration tests assert
-	// that it stays zero.
+	cells    []uint32 // era<<8 | count per cycle; len is a power of two
+	mask     uint64   // len(cells) - 1
+	log2W    uint     // log2(len(cells)); cycle>>log2W is the era
+	// hiCycle is the highest cycle ever booked — the dirty-region watermark
+	// Reset uses to clear only touched cells instead of the whole ring.
+	hiCycle uint64
+	// Clamped is retained for telemetry compatibility: the former
+	// sliding-window implementation clamped requests behind the window base
+	// and counted them here. Era-stamped cells have no base to fall behind,
+	// so the counter is structurally zero — matching the invariant the
+	// integration tests always asserted.
 	Clamped uint64
 	// Reservations is the total number of successful bookings.
 	Reservations uint64
@@ -28,91 +40,88 @@ type Calendar struct {
 
 // DefaultWindow comfortably exceeds the maximum in-flight timespan of the
 // simulated machine (a 480-entry ROB with 300-cycle memory misses spans a
-// few thousand cycles; the window is 64K cycles).
-const DefaultWindow = 1 << 16
+// couple of thousand cycles; the ring is 8K cycles). Two cycles that are
+// simultaneously in flight must never be a multiple of the ring size apart,
+// since they would share a cell — era stamps make a smaller ring safe
+// (stale cells read as empty instead of needing to be slid past), and the
+// smaller ring keeps the hot cells resident in cache.
+const DefaultWindow = 1 << 13
 
-// NewCalendar creates a calendar with the given per-cycle capacity and
-// window size (rounded up to a minimum of 1024 cycles and to the next power
-// of two, so ring indexing is a mask instead of a division).
+// NewCalendar creates a calendar with the given per-cycle capacity and ring
+// size (rounded up to a minimum of 1024 cycles and to the next power of
+// two, so ring indexing is a mask instead of a division). The capacity must
+// fit the 8-bit count field.
 func NewCalendar(capacity, window int) *Calendar {
 	if capacity <= 0 {
 		panic("sched: calendar capacity must be positive")
 	}
+	if capacity > 255 {
+		panic("sched: calendar capacity exceeds the 8-bit cell count")
+	}
 	if window < 1024 {
 		window = 1024
 	}
-	// Round up to a power of two. The window size is behaviour-neutral:
+	// Round up to a power of two. The ring size is behaviour-neutral:
 	// reservation results depend only on the booked counts, which are
-	// identical for any window large enough to avoid clamping.
+	// identical for any ring wider than the in-flight cycle span.
 	w := 1024
 	for w < window {
 		w <<= 1
 	}
+	lg := uint(0)
+	for 1<<lg < w {
+		lg++
+	}
 	return &Calendar{
 		capacity: uint16(capacity),
-		counts:   make([]uint16, w),
+		cells:    make([]uint32, w),
 		mask:     uint64(w - 1),
+		log2W:    lg,
 	}
 }
 
 // Capacity returns the per-cycle capacity.
 func (c *Calendar) Capacity() int { return int(c.capacity) }
 
-// slideTo advances the window so that cycle is inside it.
-func (c *Calendar) slideTo(cycle uint64) {
-	limit := c.base + uint64(len(c.counts))
-	if cycle < limit {
-		return
-	}
-	advance := cycle - limit + uint64(len(c.counts))/4 + 1
-	if advance > uint64(len(c.counts)) {
-		// Jumped far beyond the window: reset everything.
-		clear(c.counts)
-		c.base = cycle
-		c.baseIdx = 0
-		return
-	}
-	// Zero the cells leaving the window in (at most) two contiguous chunks.
-	end := c.baseIdx + int(advance)
-	if end <= len(c.counts) {
-		clear(c.counts[c.baseIdx:end])
-	} else {
-		clear(c.counts[c.baseIdx:])
-		clear(c.counts[:end-len(c.counts)])
-	}
-	c.baseIdx = int(uint64(end) & c.mask)
-	c.base += advance
-}
-
-func (c *Calendar) idx(cycle uint64) int {
-	return int((uint64(c.baseIdx) + (cycle - c.base)) & c.mask)
-}
-
-// Reserve books one unit of capacity at the earliest cycle >= at and returns
-// that cycle. Requests earlier than the window base are clamped to the base
-// (counted in Clamped).
+// Reserve books one unit of capacity at the earliest cycle >= at and
+// returns that cycle. The common case — the requested cycle has spare
+// capacity — is a mask, a stamp compare, and an increment; probing past
+// full cycles lives in reserveSlow.
 func (c *Calendar) Reserve(at uint64) uint64 {
-	if at < c.base {
-		at = c.base
-		c.Clamped++
+	i := at & c.mask
+	key := uint32(at>>c.log2W) << 8
+	cell := c.cells[i]
+	if cell&^uint32(0xFF) != key {
+		cell = key // stale era: the cycle is empty
 	}
-	c.slideTo(at)
-	i := uint64(c.idx(at))
-	limit := c.base + uint64(len(c.counts))
+	if cell&0xFF < uint32(c.capacity) {
+		c.cells[i] = cell + 1
+		c.Reservations++
+		if at > c.hiCycle {
+			c.hiCycle = at
+		}
+		return at
+	}
+	return c.reserveSlow(at + 1)
+}
+
+func (c *Calendar) reserveSlow(at uint64) uint64 {
 	for {
-		if c.counts[i] < c.capacity {
-			c.counts[i]++
+		i := at & c.mask
+		key := uint32(at>>c.log2W) << 8
+		cell := c.cells[i]
+		if cell&^uint32(0xFF) != key {
+			cell = key
+		}
+		if cell&0xFF < uint32(c.capacity) {
+			c.cells[i] = cell + 1
 			c.Reservations++
+			if at > c.hiCycle {
+				c.hiCycle = at
+			}
 			return at
 		}
 		at++
-		if at >= limit {
-			c.slideTo(at)
-			i = uint64(c.idx(at))
-			limit = c.base + uint64(len(c.counts))
-			continue
-		}
-		i = (i + 1) & c.mask
 	}
 }
 
@@ -124,57 +133,71 @@ func (c *Calendar) ReserveSpan(at uint64, n int) uint64 {
 	if n <= 1 {
 		return c.Reserve(at)
 	}
-	if at < c.base {
-		at = c.base
-		c.Clamped++
-	}
 outer:
 	for {
-		c.slideTo(at + uint64(n))
 		for k := 0; k < n; k++ {
-			if c.counts[c.idx(at+uint64(k))] >= c.capacity {
-				at = at + uint64(k) + 1
+			if c.Load(at+uint64(k)) >= int(c.capacity) {
+				at += uint64(k) + 1
 				continue outer
 			}
 		}
 		for k := 0; k < n; k++ {
-			c.counts[c.idx(at+uint64(k))]++
+			cy := at + uint64(k)
+			i := cy & c.mask
+			key := uint32(cy>>c.log2W) << 8
+			cell := c.cells[i]
+			if cell&^uint32(0xFF) != key {
+				cell = key
+			}
+			c.cells[i] = cell + 1
+		}
+		if last := at + uint64(n-1); last > c.hiCycle {
+			c.hiCycle = last
 		}
 		c.Reservations++
 		return at
 	}
 }
 
+// Reset restores the calendar to its just-constructed state, keeping the
+// ring storage. Booked cycles all map to ring indexes at or below the
+// watermark (cycles 0..hiCycle cover ring prefix 0..min(hiCycle, mask)),
+// so only that prefix needs clearing; for the many lightly-used calendars
+// in a machine this is a handful of cells instead of the whole ring. Cells
+// beyond the prefix keep their stale stamps and read as empty.
+func (c *Calendar) Reset() {
+	if c.Reservations != 0 {
+		n := c.hiCycle + 1
+		if n > uint64(len(c.cells)) {
+			n = uint64(len(c.cells))
+		}
+		clear(c.cells[:n])
+	}
+	c.hiCycle, c.Clamped, c.Reservations = 0, 0, 0
+}
+
 // Peek returns the cycle Reserve(at) would grant, without booking it.
 func (c *Calendar) Peek(at uint64) uint64 {
-	if at < c.base {
-		at = c.base
-	}
-	c.slideTo(at)
-	i := uint64(c.idx(at))
-	limit := c.base + uint64(len(c.counts))
 	for {
-		if c.counts[i] < c.capacity {
+		i := at & c.mask
+		key := uint32(at>>c.log2W) << 8
+		cell := c.cells[i]
+		if cell&^uint32(0xFF) != key || cell&0xFF < uint32(c.capacity) {
 			return at
 		}
 		at++
-		if at >= limit {
-			c.slideTo(at)
-			i = uint64(c.idx(at))
-			limit = c.base + uint64(len(c.counts))
-			continue
-		}
-		i = (i + 1) & c.mask
 	}
 }
 
-// Load returns the number of reservations currently booked at the cycle
-// (0 for cycles outside the window).
+// Load returns the number of reservations currently booked at the cycle (0
+// for cycles whose cell has been overwritten by a later era).
 func (c *Calendar) Load(cycle uint64) int {
-	if cycle < c.base || cycle >= c.base+uint64(len(c.counts)) {
-		return 0
+	i := cycle & c.mask
+	key := uint32(cycle>>c.log2W) << 8
+	if v := c.cells[i]; v&^uint32(0xFF) == key {
+		return int(v & 0xFF)
 	}
-	return int(c.counts[c.idx(cycle)])
+	return 0
 }
 
 // Heap is a bounded-occupancy min-heap of release times, modelling a

@@ -57,18 +57,27 @@ func TestCalendarSlidesWithoutLosingCapacityInvariant(t *testing.T) {
 	}
 }
 
-func TestCalendarFarJumpResets(t *testing.T) {
+func TestCalendarFarJump(t *testing.T) {
 	c := NewCalendar(1, 1024)
 	c.Reserve(0)
 	if x := c.Reserve(1 << 30); x != 1<<30 {
 		t.Errorf("far-future reservation: got %d", x)
 	}
-	// After the jump the old region is behind the base; a request there is
-	// clamped rather than granted.
-	before := c.Clamped
-	c.Reserve(5)
-	if c.Clamped != before+1 {
-		t.Error("pre-window reservation should be clamped")
+	// Era-stamped cells have no sliding window to fall behind: an earlier
+	// free cycle is still granted after a far-future jump, and nothing is
+	// ever clamped. (The former sliding-window implementation clamped such
+	// requests to the window base; that was an artifact the engine never
+	// exercised — integration tests assert Clamped == 0.)
+	if x := c.Reserve(5); x != 5 {
+		t.Errorf("earlier free cycle after far jump: got %d, want 5", x)
+	}
+	if c.Clamped != 0 {
+		t.Errorf("Clamped = %d, want 0", c.Clamped)
+	}
+	// The far-future cycle shares a ring cell with 1<<30 + k*1024 cycles;
+	// a fresh era reinterprets it as empty.
+	if x := c.Reserve(1<<30 + 1024); x != 1<<30+1024 {
+		t.Errorf("next-era reservation on a stale cell: got %d", x)
 	}
 }
 

@@ -38,13 +38,7 @@ func RunBenchmarkContext(ctx context.Context, cfg Config, benchmark string, n ui
 	if !ok {
 		return Result{}, fmt.Errorf("hetwire: unknown benchmark %q (see Benchmarks())", benchmark)
 	}
-	sim, err := NewSimulator(cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	res, err := sim.RunContext(ctx, workload.NewGenerator(prof), n)
-	res.Benchmark = benchmark
-	return res, err
+	return runPooled(ctx, cfg, benchmark, prof, n)
 }
 
 // RunKernelContext is RunKernel with cooperative cancellation (see
@@ -54,13 +48,28 @@ func RunKernelContext(ctx context.Context, cfg Config, kernel string, n uint64) 
 	if !ok {
 		return Result{}, fmt.Errorf("hetwire: unknown kernel %q (see Kernels())", kernel)
 	}
-	sim, err := NewSimulator(cfg)
-	if err != nil {
+	return runPooled(ctx, cfg, kernel, prof, n)
+}
+
+// runPooled executes one named workload on a pooled scratch processor
+// (core.RunScratch): processors are keyed by ConfigHash and revived with
+// Reset instead of being rebuilt per run, so repeated jobs on the same
+// configuration — batch sweeps, server workers, the golden corpus — skip
+// the tens of megabytes of construction a fresh machine costs. Results are
+// bit-identical to a fresh build (core.Processor.Reset's contract).
+// Configurations without a canonical hash fall back to unpooled runs.
+func runPooled(ctx context.Context, cfg Config, name string, prof workload.Profile, n uint64) (Result, error) {
+	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	res, err := sim.RunContext(ctx, workload.NewGenerator(prof), n)
-	res.Benchmark = kernel
-	return res, err
+	key, err := ConfigHash(cfg)
+	if err != nil {
+		key = ""
+	}
+	scr := core.AcquireScratch(key, cfg)
+	st, runErr := scr.Proc().RunContext(ctx, workload.NewGenerator(prof), n)
+	scr.Release()
+	return Result{Stats: st, Config: cfg, Benchmark: name}, runErr
 }
 
 // RunMultiprogrammedContext is RunMultiprogrammed with cooperative
